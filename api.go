@@ -1,0 +1,142 @@
+// Package learnedftl is a discrete-event SSD simulation library that
+// reproduces "LearnedFTL: A Learning-Based Page-Level FTL for Reducing
+// Double Reads in Flash-Based SSDs" (HPCA 2024).
+//
+// It provides five flash translation layers over a common NAND timing model
+// — DFTL, TPFTL, LeaFTL, LearnedFTL (the paper's contribution) and an ideal
+// full-map FTL — plus the workload generators and experiment harnesses that
+// regenerate every figure and table of the paper's evaluation.
+//
+// Quick start:
+//
+//	cfg := learnedftl.QuickConfig()
+//	dev, _ := learnedftl.New(learnedftl.SchemeLearnedFTL, cfg)
+//	gens := workload.FIO(workload.RandRead, cfg.LogicalPages(), 1, 64, 1000, 42)
+//	sim.Warmed(dev, workload.Warmup(cfg.LogicalPages(), 2, 128, 1), 0)
+//	res := sim.Run(dev, gens, 0)
+package learnedftl
+
+import (
+	"fmt"
+
+	"learnedftl/internal/core"
+	"learnedftl/internal/dftl"
+	"learnedftl/internal/ftl"
+	"learnedftl/internal/leaftl"
+	"learnedftl/internal/nand"
+	"learnedftl/internal/tpftl"
+)
+
+// Re-exported configuration types so users do not import internal packages.
+type (
+	// Config is the device + FTL configuration.
+	Config = ftl.Config
+	// FTL is the interface all five schemes implement.
+	FTL = ftl.FTL
+	// Options are LearnedFTL's ablation switches.
+	Options = core.Options
+)
+
+// Scheme identifies one of the reproduced FTL designs.
+type Scheme int
+
+// The five schemes of the paper's evaluation (§IV-A).
+const (
+	SchemeDFTL Scheme = iota
+	SchemeTPFTL
+	SchemeLeaFTL
+	SchemeLearnedFTL
+	SchemeIdeal
+)
+
+// String implements fmt.Stringer.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeDFTL:
+		return "DFTL"
+	case SchemeTPFTL:
+		return "TPFTL"
+	case SchemeLeaFTL:
+		return "LeaFTL"
+	case SchemeLearnedFTL:
+		return "LearnedFTL"
+	case SchemeIdeal:
+		return "ideal"
+	default:
+		return "unknown"
+	}
+}
+
+// Schemes returns all five schemes in the paper's presentation order.
+func Schemes() []Scheme {
+	return []Scheme{SchemeDFTL, SchemeTPFTL, SchemeLeaFTL, SchemeLearnedFTL, SchemeIdeal}
+}
+
+// New builds a device running the given scheme. LearnedFTL uses the paper's
+// default options; use NewLearned for ablations.
+func New(s Scheme, cfg Config) (FTL, error) {
+	switch s {
+	case SchemeDFTL:
+		return dftl.New(cfg)
+	case SchemeTPFTL:
+		return tpftl.New(cfg)
+	case SchemeLeaFTL:
+		return leaftl.New(cfg)
+	case SchemeLearnedFTL:
+		return core.New(cfg, core.DefaultOptions())
+	case SchemeIdeal:
+		return ftl.NewIdeal(cfg)
+	default:
+		return nil, fmt.Errorf("learnedftl: unknown scheme %d", s)
+	}
+}
+
+// NewLearned builds a LearnedFTL device with explicit options (ablations:
+// VPPN off, sequential init off, cross-group allocation off, training charge
+// off).
+func NewLearned(cfg Config, opt Options) (*core.LearnedFTL, error) {
+	return core.New(cfg, opt)
+}
+
+// DefaultLearnedOptions returns the paper's LearnedFTL configuration.
+func DefaultLearnedOptions() Options { return core.DefaultOptions() }
+
+// PaperConfig returns the paper's exact device (§IV-A): 64 chips, 32 GiB,
+// 40µs/200µs/2ms NAND, 512-entry translation pages, 64-entry GTD groups,
+// 8-piece models. Full-scale runs take a while; prefer QuickConfig for
+// development.
+func PaperConfig() Config {
+	return ftl.DefaultConfig(nand.PaperGeometry())
+}
+
+// QuickConfig returns a proportionally scaled device (16 chips × 32 blocks ×
+// 512 pages = 1 GiB) that preserves the structural ratios that matter —
+// a GTD entry group spanning exactly one superblock stripe, 512-entry
+// translation pages, spare superblock rows for the group allocator — while
+// running experiments in seconds rather than hours. The over-provisioning
+// ratio is raised so the scaled device keeps a paper-like relative GC
+// reserve despite its coarser superblock granularity.
+func QuickConfig() Config {
+	g := nand.Geometry{Channels: 4, Ways: 4, Planes: 1, BlocksPerUnit: 32, PagesPerBlock: 512, PageSize: 4096}
+	cfg := ftl.DefaultConfig(g)
+	// The group span is sized at 3/4 of a superblock stripe. At paper scale
+	// (256 fine-grained rows) the span can equal the stripe because spare
+	// rows are plentiful relative to groups; a 30-row device needs the
+	// over-provisioning *inside* each group's stripe or group-granular GC
+	// degenerates (every group is 100% live and a compaction reclaims
+	// nothing). See EXPERIMENTS.md, "scaled-device adaptations".
+	cfg.GroupEntries = 12 // span 12×512 = 6144 of the 8192-page stripe
+	cfg.OPRatio = 0.35
+	return cfg
+}
+
+// TinyConfig returns the smallest structurally faithful device; it is meant
+// for tests and the quickstart example.
+func TinyConfig() Config {
+	g := nand.Geometry{Channels: 8, Ways: 8, Planes: 1, BlocksPerUnit: 16, PagesPerBlock: 64, PageSize: 4096}
+	cfg := ftl.DefaultConfig(g)
+	cfg.EntriesPerTP = 64
+	cfg.GroupEntries = 56 // span 3584 of the 4096-page stripe (see QuickConfig)
+	cfg.OPRatio = 0.40
+	return cfg
+}

@@ -1,0 +1,180 @@
+package learnedftl
+
+import (
+	"strings"
+	"testing"
+
+	"learnedftl/internal/sim"
+	"learnedftl/internal/workload"
+)
+
+// tinyBudget keeps integration tests fast while still exercising warm-up,
+// GC and every read path.
+func tinyBudget() Budget {
+	return Budget{Requests: 3000, WarmExtra: 1, TraceScale: 0.002, Threads: 16}
+}
+
+func TestSchemesConstruct(t *testing.T) {
+	cfg := TinyConfig()
+	for _, s := range Schemes() {
+		f, err := New(s, cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if f.Name() != s.String() {
+			t.Errorf("%v: Name() = %q", s, f.Name())
+		}
+	}
+	if _, err := New(Scheme(99), cfg); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+}
+
+func TestConfigsAreValid(t *testing.T) {
+	for _, cfg := range []Config{TinyConfig(), QuickConfig(), PaperConfig()} {
+		if err := cfg.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		// The group allocator must accept each published config.
+		if _, err := NewLearned(cfg, DefaultLearnedOptions()); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestEndToEndAllSchemes(t *testing.T) {
+	cfg := TinyConfig()
+	lp := cfg.LogicalPages()
+	for _, s := range Schemes() {
+		f, err := New(s, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim.Warmed(f, workload.Warmup(lp, 1, 128, 1), 0)
+		res := sim.Run(f, workload.FIO(workload.RandRead, lp, 1, 8, 100, 3), 0)
+		if res.Requests != 800 {
+			t.Fatalf("%v: %d requests", s, res.Requests)
+		}
+		if f.Collector().MeanReadLatency() <= 0 {
+			t.Fatalf("%v: zero read latency", s)
+		}
+	}
+}
+
+func TestFig14Shape(t *testing.T) {
+	// The headline result: LearnedFTL's random-read throughput beats the
+	// demand-based baselines and approaches the ideal FTL.
+	cfg := TinyConfig()
+	b := tinyBudget()
+	tp, err := newWarmed(SchemeTPFTL, cfg, b.WarmExtra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld, err := newWarmed(SchemeLearnedFTL, cfg, b.WarmExtra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := newWarmed(SchemeIdeal, cfg, b.WarmExtra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rTP := measureFIO(tp, workload.RandRead, b.Threads, 1, b.Requests)
+	rLD := measureFIO(ld, workload.RandRead, b.Threads, 1, b.Requests)
+	rID := measureFIO(id, workload.RandRead, b.Threads, 1, b.Requests)
+	if rLD.ReadMBps <= rTP.ReadMBps {
+		t.Fatalf("LearnedFTL (%.0f MB/s) not faster than TPFTL (%.0f MB/s)", rLD.ReadMBps, rTP.ReadMBps)
+	}
+	if rLD.ReadMBps < 0.7*rID.ReadMBps {
+		t.Fatalf("LearnedFTL (%.0f) below 70%% of ideal (%.0f)", rLD.ReadMBps, rID.ReadMBps)
+	}
+	if rLD.ModelHitRatio == 0 {
+		t.Fatal("LearnedFTL had no model hits")
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	// LeaFTL must exhibit double+triple reads under random reads after
+	// 4KB random aging; TPFTL must not exhibit triples.
+	cfg := TinyConfig()
+	b := tinyBudget()
+	le, err := newWarmed(SchemeLeaFTL, cfg, b.WarmExtra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Age with small random writes (the case LeaFTL handles poorly).
+	lp := cfg.LogicalPages()
+	sim.Run(le, workload.FIO(workload.RandWrite, lp, 1, 8, 2000, 9), 0)
+	r := measureFIO(le, workload.RandRead, b.Threads, 1, b.Requests)
+	if r.DoubleFrac+r.TripleFrac < 0.2 {
+		t.Fatalf("LeaFTL multi-read fraction %.2f too low after aging", r.DoubleFrac+r.TripleFrac)
+	}
+	tp, err := newWarmed(SchemeTPFTL, cfg, b.WarmExtra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := measureFIO(tp, workload.RandRead, b.Threads, 1, b.Requests)
+	if rt.TripleFrac != 0 {
+		t.Fatal("TPFTL produced triple reads")
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	ids := ExperimentIDs()
+	want := []string{"fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
+		"fig2", "fig20", "fig21", "fig22", "fig3", "fig6", "fig7", "table2"}
+	if len(ids) != len(want) {
+		t.Fatalf("ids = %v", ids)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("ids = %v, want %v", ids, want)
+		}
+	}
+}
+
+func TestFig15AndTable2Run(t *testing.T) {
+	tab, err := Fig15()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 || !strings.Contains(tab.String(), "prediction") {
+		t.Fatalf("Fig15 table wrong: %v", tab)
+	}
+	t2, err := Table2(TinyConfig(), tinyBudget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t2.Rows) != 4 {
+		t.Fatalf("Table2 rows = %d", len(t2.Rows))
+	}
+}
+
+func TestTableString(t *testing.T) {
+	tab := Table{
+		Title:  "demo",
+		Header: []string{"a", "longcolumn"},
+		Rows:   [][]string{{"x", "y"}},
+	}
+	s := tab.String()
+	if !strings.Contains(s, "== demo ==") || !strings.Contains(s, "longcolumn") {
+		t.Fatalf("table render: %q", s)
+	}
+}
+
+func TestQuickExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke skipped in -short mode")
+	}
+	cfg := TinyConfig()
+	b := tinyBudget()
+	for _, id := range []string{"fig2", "fig6", "fig17", "fig18"} {
+		run := Experiments()[id]
+		tab, err := run(cfg, b)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(tab.Rows) == 0 {
+			t.Fatalf("%s: empty table", id)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package learnedftl
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"learnedftl/internal/learned"
+	"learnedftl/internal/nand"
+	"learnedftl/internal/workload"
+)
+
+// benchBudget sizes the per-figure macro benchmarks so the full -bench=.
+// sweep finishes in a couple of minutes. Use cmd/ftlbench -scale quick (or
+// paper) for the numbers recorded in EXPERIMENTS.md.
+func benchBudget() Budget {
+	return Budget{Requests: 6000, WarmExtra: 1, TraceScale: 0.004, Threads: 32}
+}
+
+// benchExperiment reruns one paper experiment per iteration and logs its
+// table (visible with -v), so every figure and table of the evaluation
+// section is regenerable straight from `go test -bench`.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	cfg := TinyConfig()
+	bud := benchBudget()
+	run := Experiments()[id]
+	for i := 0; i < b.N; i++ {
+		tab, err := run(cfg, bud)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + tab.String())
+		}
+	}
+}
+
+// Motivation figures.
+
+func BenchmarkFig2(b *testing.B) { benchExperiment(b, "fig2") }
+func BenchmarkFig3(b *testing.B) { benchExperiment(b, "fig3") }
+func BenchmarkFig6(b *testing.B) { benchExperiment(b, "fig6") }
+func BenchmarkFig7(b *testing.B) { benchExperiment(b, "fig7") }
+
+// Evaluation figures.
+
+func BenchmarkFig14Throughput(b *testing.B)  { benchExperiment(b, "fig14") }
+func BenchmarkFig16GCFreq(b *testing.B)      { benchExperiment(b, "fig16") }
+func BenchmarkFig17GCOverhead(b *testing.B)  { benchExperiment(b, "fig17") }
+func BenchmarkFig18Ablations(b *testing.B)   { benchExperiment(b, "fig18") }
+func BenchmarkFig19RocksDB(b *testing.B)     { benchExperiment(b, "fig19") }
+func BenchmarkFig20Filebench(b *testing.B)   { benchExperiment(b, "fig20") }
+func BenchmarkFig21TailLatency(b *testing.B) { benchExperiment(b, "fig21") }
+func BenchmarkFig22Energy(b *testing.B)      { benchExperiment(b, "fig22") }
+func BenchmarkTable2Traces(b *testing.B)     { benchExperiment(b, "table2") }
+
+// BenchmarkFig15Ops regenerates Fig. 15 directly: the host-CPU cost of the
+// three operations LearnedFTL adds (sorting a GTD entry's LPNs, training its
+// model, one prediction).
+
+func BenchmarkFig15Sorting(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	lpns := make([]int64, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		for j := range lpns {
+			lpns[j] = rng.Int63n(1 << 20)
+		}
+		b.StartTimer()
+		sort.Slice(lpns, func(x, y int) bool { return lpns[x] < lpns[y] })
+	}
+}
+
+func fig15TrainingData() []int64 {
+	rng := rand.New(rand.NewSource(2))
+	vppns := make([]int64, 512)
+	for i := range vppns {
+		if rng.Intn(4) == 0 {
+			vppns[i] = -1
+			continue
+		}
+		vppns[i] = int64(1<<20) + int64(i) + int64(rng.Intn(3))
+	}
+	return vppns
+}
+
+func BenchmarkFig15Training(b *testing.B) {
+	vppns := fig15TrainingData()
+	m := learned.NewInPlaceModel(512, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.TrainFull(1<<20, vppns)
+	}
+}
+
+func BenchmarkFig15Prediction(b *testing.B) {
+	vppns := fig15TrainingData()
+	m := learned.NewInPlaceModel(512, 8)
+	m.TrainFull(1<<20, vppns)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Predict(i & 511)
+	}
+}
+
+// Micro-benchmarks of the substrate primitives.
+
+func BenchmarkVPPNTranslate(b *testing.B) {
+	codec := nand.NewAddrCodec(nand.PaperGeometry())
+	total := int64(codec.Geometry().TotalPages())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := nand.PPN(int64(i) % total)
+		if codec.ToPhysical(codec.ToVirtual(p)) != p {
+			b.Fatal("bijection broken")
+		}
+	}
+}
+
+func BenchmarkPLRFitExact(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	pts := make([]learned.Point, 512)
+	x := int64(0)
+	for i := range pts {
+		x += 1 + int64(rng.Intn(2))
+		pts[i] = learned.Point{X: x, Y: x + int64(rng.Intn(2))}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		learned.FitExact(pts)
+	}
+}
+
+func BenchmarkSegmentsFit(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	pts := make([]learned.Point, 512)
+	x, y := int64(0), int64(0)
+	for i := range pts {
+		x += 1 + int64(rng.Intn(2))
+		y += int64(rng.Intn(3))
+		pts[i] = learned.Point{X: x, Y: y}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		learned.FitSegments(pts, 4, 256)
+	}
+}
+
+// Ablation benches for the design choices DESIGN.md calls out.
+
+func benchLearnedRandRead(b *testing.B, opt Options) {
+	cfg := TinyConfig()
+	bud := benchBudget()
+	for i := 0; i < b.N; i++ {
+		f, err := NewLearned(cfg, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		warmDevice(f, bud.WarmExtra)
+		r := measureFIO(f, workload.RandRead, bud.Threads, 1, bud.Requests)
+		if i == 0 {
+			b.ReportMetric(r.ReadMBps, "MB/s")
+			b.ReportMetric(r.ModelHitRatio*100, "model-hit-%")
+		}
+	}
+}
+
+func BenchmarkAblationBaseline(b *testing.B) {
+	benchLearnedRandRead(b, DefaultLearnedOptions())
+}
+
+func BenchmarkAblationNoVPPN(b *testing.B) {
+	opt := DefaultLearnedOptions()
+	opt.DisableVPPN = true
+	benchLearnedRandRead(b, opt)
+}
+
+func BenchmarkAblationNoSeqInit(b *testing.B) {
+	opt := DefaultLearnedOptions()
+	opt.DisableSeqInit = true
+	benchLearnedRandRead(b, opt)
+}
+
+func BenchmarkAblationNoCrossGroup(b *testing.B) {
+	opt := DefaultLearnedOptions()
+	opt.DisableCrossGroup = true
+	benchLearnedRandRead(b, opt)
+}

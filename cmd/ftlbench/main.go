@@ -1,0 +1,73 @@
+// Command ftlbench regenerates the tables and figures of the LearnedFTL
+// paper (HPCA 2024) on the discrete-event SSD simulator.
+//
+// Usage:
+//
+//	ftlbench -exp fig14                 # one experiment, quick scale
+//	ftlbench -exp all -scale quick      # the whole evaluation section
+//	ftlbench -exp fig21 -scale paper    # paper-scale run (slow)
+//	ftlbench -list                      # available experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"learnedftl"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment id (figN, table2, or 'all')")
+		scale = flag.String("scale", "quick", "quick | paper | tiny")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(learnedftl.ExperimentIDs(), "\n"))
+		return
+	}
+
+	var cfg learnedftl.Config
+	var budget learnedftl.Budget
+	switch *scale {
+	case "quick":
+		cfg, budget = learnedftl.QuickConfig(), learnedftl.QuickBudget()
+	case "paper":
+		cfg, budget = learnedftl.PaperConfig(), learnedftl.PaperBudget()
+	case "tiny":
+		cfg = learnedftl.TinyConfig()
+		budget = learnedftl.Budget{Requests: 4000, WarmExtra: 1, TraceScale: 0.003, Threads: 16}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	fmt.Printf("device: %s  logical pages: %d  budget: %d requests/run\n\n",
+		cfg.Geometry, cfg.LogicalPages(), budget.Requests)
+
+	exps := learnedftl.Experiments()
+	var ids []string
+	if *exp == "all" {
+		ids = learnedftl.ExperimentIDs()
+	} else {
+		if _, ok := exps[*exp]; !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", *exp)
+			os.Exit(2)
+		}
+		ids = []string{*exp}
+	}
+	for _, id := range ids {
+		start := time.Now()
+		tab, err := exps[id](cfg, budget)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println(tab)
+		fmt.Printf("(%s finished in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,43 @@
+// Webserver: the paper's read-heavy Filebench scenario (Table I) across all
+// five FTLs — the workload where locality-based caching works well and the
+// question is whether learned indexes help or hurt (Figs. 7 and 20).
+package main
+
+import (
+	"fmt"
+
+	"learnedftl"
+	"learnedftl/internal/sim"
+	"learnedftl/internal/stats"
+	"learnedftl/internal/workload"
+)
+
+func main() {
+	cfg := learnedftl.TinyConfig()
+	lp := cfg.LogicalPages()
+	kind := workload.Webserver
+	threads := kind.Threads()
+	fmt.Printf("filebench %s: %d threads, 16KB files, read heavy\n\n", kind, threads)
+
+	var baseline float64
+	for _, scheme := range learnedftl.Schemes() {
+		dev, err := learnedftl.New(scheme, cfg)
+		if err != nil {
+			panic(err)
+		}
+		sim.Warmed(dev, workload.Warmup(lp, 1, 128, 1), 0)
+
+		gens := workload.Filebench(kind, lp, threads, 60, 23)
+		res := sim.Run(dev, gens, 0)
+		rep := stats.BuildReport(dev.Name(), dev.Collector(), dev.Flash().Counters(),
+			res.Makespan(), cfg.Geometry.PageSize, cfg.Energy)
+
+		tput := rep.ReadMBps + rep.WriteMBps
+		if scheme == learnedftl.SchemeDFTL {
+			baseline = tput
+		}
+		fmt.Printf("%-11s %7.1f MB/s  (%.2fx DFTL)  cache %5.1f%%  model %5.1f%%\n",
+			dev.Name(), tput, tput/baseline,
+			rep.CMTHitRatio*100, rep.ModelHitRatio*100)
+	}
+}

@@ -1,0 +1,595 @@
+package learnedftl
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"learnedftl/internal/learned"
+	"learnedftl/internal/nand"
+	"learnedftl/internal/sim"
+	"learnedftl/internal/stats"
+	"learnedftl/internal/workload"
+)
+
+// Budget scales every experiment so the same code serves quick benches and
+// full paper-scale reproductions.
+type Budget struct {
+	// Requests is the number of measured host requests per run.
+	Requests int
+	// WarmExtra is how many extra device capacities of random overwrites
+	// follow the sequential warm-up fill (the paper uses ~6 total passes).
+	WarmExtra int
+	// TraceScale is the fraction of each Table II trace replayed.
+	TraceScale float64
+	// Threads used where the paper fixes 64.
+	Threads int
+}
+
+// QuickBudget finishes the whole suite in minutes on a laptop.
+func QuickBudget() Budget {
+	return Budget{Requests: 24000, WarmExtra: 1, TraceScale: 0.03, Threads: 64}
+}
+
+// PaperBudget approximates the paper's run sizes (hours of CPU).
+func PaperBudget() Budget {
+	return Budget{Requests: 500000, WarmExtra: 5, TraceScale: 1.0, Threads: 64}
+}
+
+// Table is a printable experiment result.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// String renders the table with aligned columns.
+func (t Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	line := func(cells []string) {
+		for i, c := range cells {
+			fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return b.String()
+}
+
+func f1(v float64) string  { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
+func ms(t nand.Time) string {
+	return fmt.Sprintf("%.2fms", float64(t)/float64(nand.Millisecond))
+}
+
+// newWarmed builds a scheme's device and brings it to the paper's steady
+// state: a sequential fill plus `extra` capacities of 512KB random
+// overwrites (§IV-B), with metrics reset afterwards.
+func newWarmed(s Scheme, cfg Config, extra int) (FTL, error) {
+	f, err := New(s, cfg)
+	if err != nil {
+		return nil, err
+	}
+	warmDevice(f, extra)
+	return f, nil
+}
+
+func warmDevice(f FTL, extra int) {
+	lp := f.Config().LogicalPages()
+	sim.Warmed(f, workload.Warmup(lp, extra, 128, 1), 0)
+	// Settle the mapping caches: the write warm-up leaves them full of
+	// dirty entries whose one-time write-back would otherwise dominate a
+	// short measured window (the paper's multi-minute runs amortize this).
+	settle := 2 * f.Config().CMTEntries()
+	sim.Warmed(f, workload.FIO(workload.RandRead, lp, 1, 16, settle/16+1, 977), 0)
+}
+
+// measure runs generators on a (typically warmed) device and summarizes.
+func measure(f FTL, gens []sim.Generator) stats.Report {
+	f.Collector().Reset()
+	f.Flash().ResetCounters()
+	res := sim.Run(f, gens, 0)
+	return stats.BuildReport(f.Name(), f.Collector(), f.Flash().Counters(),
+		res.Makespan(), f.Config().Geometry.PageSize, f.Config().Energy)
+}
+
+// measureFIO measures one FIO pattern.
+func measureFIO(f FTL, p workload.Pattern, threads, ioPages, total int) stats.Report {
+	per := total / threads
+	if per < 1 {
+		per = 1
+	}
+	gens := workload.FIO(p, f.Config().LogicalPages(), ioPages, threads, per, 7)
+	return measure(f, gens)
+}
+
+// Fig2 reproduces the motivation experiment: TPFTL sequential vs random read
+// throughput and CMT hit ratio as the thread count grows.
+func Fig2(cfg Config, b Budget) (Table, error) {
+	f, err := newWarmed(SchemeTPFTL, cfg, b.WarmExtra)
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		Title:  "Fig 2: TPFTL read performance vs threads (seq uses 8-page I/O, rand 1-page)",
+		Header: []string{"threads", "seqread MB/s", "randread MB/s", "seq CMT hit", "rand CMT hit"},
+	}
+	for _, th := range []int{1, 16, 32, 64} {
+		seq := measureFIO(f, workload.SeqRead, th, 8, b.Requests)
+		rnd := measureFIO(f, workload.RandRead, th, 1, b.Requests)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(th), f1(seq.ReadMBps), f1(rnd.ReadMBps),
+			pct(seq.CMTHitRatio), pct(rnd.CMTHitRatio),
+		})
+	}
+	return t, nil
+}
+
+// Fig3 reproduces the CMT-scaling experiment: TPFTL's random-read hit ratio
+// barely improves even with a CMT holding 50% of all mappings.
+func Fig3(cfg Config, b Budget) (Table, error) {
+	t := Table{
+		Title:  "Fig 3: TPFTL CMT hit ratio vs CMT space (randread, 64 threads)",
+		Header: []string{"CMT space", "hit ratio"},
+	}
+	for _, ratio := range []float64{0.001, 0.03, 0.10, 0.30, 0.50} {
+		c := cfg
+		c.CMTRatio = ratio
+		f, err := newWarmed(SchemeTPFTL, c, b.WarmExtra)
+		if err != nil {
+			return Table{}, err
+		}
+		r := measureFIO(f, workload.RandRead, b.Threads, 1, b.Requests)
+		t.Rows = append(t.Rows, []string{pct(ratio), pct(r.CMTHitRatio)})
+	}
+	return t, nil
+}
+
+// Fig6 reproduces the LeaFTL motivation: random-read throughput normalized
+// to TPFTL, and LeaFTL's single/double/triple read breakdown.
+func Fig6(cfg Config, b Budget) (Table, error) {
+	tp, err := newWarmed(SchemeTPFTL, cfg, b.WarmExtra)
+	if err != nil {
+		return Table{}, err
+	}
+	le, err := newWarmed(SchemeLeaFTL, cfg, b.WarmExtra)
+	if err != nil {
+		return Table{}, err
+	}
+	rTP := measureFIO(tp, workload.RandRead, b.Threads, 1, b.Requests)
+	rLE := measureFIO(le, workload.RandRead, b.Threads, 1, b.Requests)
+	t := Table{
+		Title:  "Fig 6: LeaFTL vs TPFTL under FIO random reads",
+		Header: []string{"FTL", "MB/s", "norm vs TPFTL", "single", "double", "triple"},
+	}
+	for _, r := range []stats.Report{rLE, rTP} {
+		t.Rows = append(t.Rows, []string{
+			r.FTL, f1(r.ReadMBps), f2(r.ReadMBps / rTP.ReadMBps),
+			pct(r.SingleFrac), pct(r.DoubleFrac), pct(r.TripleFrac),
+		})
+	}
+	return t, nil
+}
+
+// filebenchRun measures one Filebench personality on a warmed device.
+func filebenchRun(f FTL, k workload.FilebenchKind, b Budget) stats.Report {
+	th := k.Threads()
+	per := b.Requests / th
+	if per < 1 {
+		per = 1
+	}
+	gens := workload.Filebench(k, f.Config().LogicalPages(), th, per, 23)
+	return measure(f, gens)
+}
+
+// Fig7 reproduces the locality motivation: TPFTL vs LeaFTL on Filebench,
+// plus the webserver hit-ratio comparison.
+func Fig7(cfg Config, b Budget) (Table, error) {
+	tp, err := newWarmed(SchemeTPFTL, cfg, b.WarmExtra)
+	if err != nil {
+		return Table{}, err
+	}
+	le, err := newWarmed(SchemeLeaFTL, cfg, b.WarmExtra)
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		Title:  "Fig 7: TPFTL vs LeaFTL on Filebench (throughput norm. to TPFTL; hit = single-read fraction)",
+		Header: []string{"workload", "LeaFTL norm", "TPFTL norm", "LeaFTL single", "TPFTL single"},
+	}
+	for _, k := range []workload.FilebenchKind{workload.Fileserver, workload.Webserver, workload.Varmail} {
+		rTP := filebenchRun(tp, k, b)
+		rLE := filebenchRun(le, k, b)
+		den := rTP.ReadMBps + rTP.WriteMBps
+		num := rLE.ReadMBps + rLE.WriteMBps
+		t.Rows = append(t.Rows, []string{
+			k.String(), f2(num / den), "1.00",
+			pct(rLE.SingleFrac),
+			pct(rTP.SingleFrac),
+		})
+	}
+	return t, nil
+}
+
+// Fig14 reproduces the headline FIO comparison: throughput for four access
+// patterns, hit ratios for reads and write amplification for writes, across
+// all five FTLs.
+func Fig14(cfg Config, b Budget) (Table, error) {
+	t := Table{
+		Title: "Fig 14: FIO at 64 threads (throughput MB/s; CMT+model hit; WA)",
+		Header: []string{"FTL", "randread", "seqread", "randwrite", "seqwrite",
+			"rr CMT", "rr model", "sr CMT", "sr model", "WA rand", "WA seq"},
+	}
+	for _, s := range Schemes() {
+		f, err := newWarmed(s, cfg, b.WarmExtra)
+		if err != nil {
+			return Table{}, err
+		}
+		rr := measureFIO(f, workload.RandRead, b.Threads, 1, b.Requests)
+		sr := measureFIO(f, workload.SeqRead, b.Threads, 8, b.Requests)
+		rw := measureFIO(f, workload.RandWrite, b.Threads, 1, b.Requests)
+		sw := measureFIO(f, workload.SeqWrite, b.Threads, 8, b.Requests)
+		t.Rows = append(t.Rows, []string{
+			s.String(),
+			f1(rr.ReadMBps), f1(sr.ReadMBps), f1(rw.WriteMBps), f1(sw.WriteMBps),
+			pct(rr.CMTHitRatio), pct(rr.ModelHitRatio),
+			pct(sr.CMTHitRatio), pct(sr.ModelHitRatio),
+			f2(rw.WriteAmp), f2(sw.WriteAmp),
+		})
+	}
+	return t, nil
+}
+
+// Fig15 measures the real host-CPU cost of the three added operations —
+// LPN sorting, model training and model prediction — on a full 512-entry
+// GTD entry, mirroring the paper's X86/ARM microbenchmark.
+func Fig15() (Table, error) {
+	const span = 512
+	rng := rand.New(rand.NewSource(1))
+	vppns := make([]int64, span)
+	base := int64(1 << 20)
+	for i := range vppns {
+		if rng.Intn(4) == 0 {
+			vppns[i] = -1
+			continue
+		}
+		vppns[i] = base + int64(i) + int64(rng.Intn(3))
+	}
+	timeOp := func(iters int, op func()) time.Duration {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			op()
+		}
+		return time.Since(start) / time.Duration(iters)
+	}
+	lpns := make([]int64, span)
+	sortCost := timeOp(2000, func() {
+		for i := range lpns {
+			lpns[i] = int64(rng.Intn(1 << 20))
+		}
+		sort.Slice(lpns, func(i, j int) bool { return lpns[i] < lpns[j] })
+	})
+	m := learned.NewInPlaceModel(span, 8)
+	trainCost := timeOp(2000, func() { m.TrainFull(base, vppns) })
+	var sink int64
+	predictCost := timeOp(200000, func() {
+		v, _ := m.Predict(128)
+		sink += v
+	})
+	if sink == -1 {
+		panic("unreachable")
+	}
+	t := Table{
+		Title:  "Fig 15: computing overhead of the added operations (host CPU; paper: ~50µs sort+train, 0.65µs predict on ARM A72)",
+		Header: []string{"operation", "cost/entry"},
+		Rows: [][]string{
+			{"sorting (512 LPNs)", sortCost.String()},
+			{"training (512-entry model)", trainCost.String()},
+			{"prediction", predictCost.String()},
+		},
+	}
+	return t, nil
+}
+
+// Fig16 reproduces the GC-frequency comparison under FIO random and
+// sequential writes.
+func Fig16(cfg Config, b Budget) (Table, error) {
+	t := Table{
+		Title:  "Fig 16: GC activity under FIO writes (count; mean GCs per simulated second)",
+		Header: []string{"FTL", "rand GCs", "rand GC/s", "seq GCs", "seq GC/s"},
+	}
+	for _, s := range Schemes() {
+		f, err := newWarmed(s, cfg, b.WarmExtra)
+		if err != nil {
+			return Table{}, err
+		}
+		rw := measureFIO(f, workload.RandWrite, b.Threads, 1, b.Requests)
+		randGC := f.Collector().GCCount
+		randRate := rate(randGC, rw.Makespan)
+		sw := measureFIO(f, workload.SeqWrite, b.Threads, 8, b.Requests)
+		seqGC := f.Collector().GCCount
+		seqRate := rate(seqGC, sw.Makespan)
+		t.Rows = append(t.Rows, []string{
+			s.String(), fmt.Sprint(randGC), f2(randRate), fmt.Sprint(seqGC), f2(seqRate),
+		})
+	}
+	return t, nil
+}
+
+func rate(n int64, span nand.Time) float64 {
+	if span <= 0 {
+		return 0
+	}
+	return float64(n) / (float64(span) / float64(nand.Second))
+}
+
+// Fig17 reproduces the GC-time breakdown: the share of LearnedFTL's GC time
+// spent on sorting + training, across increasing run lengths.
+func Fig17(cfg Config, b Budget) (Table, error) {
+	t := Table{
+		Title:  "Fig 17: sorting+training share of LearnedFTL GC time (paper: <= 3.2%)",
+		Header: []string{"randwrite requests", "GC busy", "sort+train", "share"},
+	}
+	for _, mult := range []float64{0.5, 1, 2} {
+		f, err := newWarmed(SchemeLearnedFTL, cfg, b.WarmExtra)
+		if err != nil {
+			return Table{}, err
+		}
+		measureFIO(f, workload.RandWrite, b.Threads, 1, int(float64(b.Requests)*mult))
+		col := f.Collector()
+		share := 0.0
+		if col.GCBusyTime > 0 {
+			share = float64(col.SortTrainNS) / float64(col.GCBusyTime)
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(int(float64(b.Requests) * mult)),
+			ms(col.GCBusyTime), ms(nand.Time(col.SortTrainNS)),
+			fmt.Sprintf("%.2f%%", share*100),
+		})
+	}
+	return t, nil
+}
+
+// Fig18 reproduces the overhead ablations: (a) random-write throughput with
+// and without the training+sorting charge, (b) read throughput of
+// LearnedFTL vs "ideal LearnedFTL" (no prediction cost, full DRAM map).
+func Fig18(cfg Config, b Budget) (Table, error) {
+	runWrite := func(charge bool) (float64, error) {
+		opt := DefaultLearnedOptions()
+		opt.ChargeTraining = charge
+		f, err := NewLearned(cfg, opt)
+		if err != nil {
+			return 0, err
+		}
+		warmDevice(f, b.WarmExtra)
+		r := measureFIO(f, workload.RandWrite, b.Threads, 1, b.Requests)
+		return r.WriteMBps, nil
+	}
+	with, err := runWrite(true)
+	if err != nil {
+		return Table{}, err
+	}
+	without, err := runWrite(false)
+	if err != nil {
+		return Table{}, err
+	}
+	runRead := func(predictCost nand.Time, p workload.Pattern, io int) (float64, error) {
+		opt := DefaultLearnedOptions()
+		opt.PredictCost = predictCost
+		f, err := NewLearned(cfg, opt)
+		if err != nil {
+			return 0, err
+		}
+		warmDevice(f, b.WarmExtra)
+		r := measureFIO(f, p, b.Threads, io, b.Requests)
+		return r.ReadMBps, nil
+	}
+	rrLD, err := runRead(DefaultLearnedOptions().PredictCost, workload.RandRead, 1)
+	if err != nil {
+		return Table{}, err
+	}
+	rrIdeal, err := runRead(0, workload.RandRead, 1)
+	if err != nil {
+		return Table{}, err
+	}
+	srLD, err := runRead(DefaultLearnedOptions().PredictCost, workload.SeqRead, 8)
+	if err != nil {
+		return Table{}, err
+	}
+	srIdeal, err := runRead(0, workload.SeqRead, 8)
+	if err != nil {
+		return Table{}, err
+	}
+	return Table{
+		Title:  "Fig 18: LearnedFTL overhead ablations",
+		Header: []string{"comparison", "LearnedFTL", "counterpart", "ratio"},
+		Rows: [][]string{
+			{"randwrite MB/s (w/ vs w/o train+sort)", f1(with), f1(without), f2(with / without)},
+			{"randread MB/s (LD vs ideal-LD)", f1(rrLD), f1(rrIdeal), f2(rrLD / rrIdeal)},
+			{"seqread MB/s (LD vs ideal-LD)", f1(srLD), f1(srIdeal), f2(srLD / srIdeal)},
+		},
+	}, nil
+}
+
+// Fig19 reproduces the RocksDB experiment: db_bench readrandom/readseq with
+// one thread over an 80%-full LSM-shaped database.
+func Fig19(cfg Config, b Budget) (Table, error) {
+	t := Table{
+		Title:  "Fig 19: RocksDB db_bench model, 1 thread (throughput; hit ratios)",
+		Header: []string{"FTL", "readrandom MB/s", "readseq MB/s", "rr CMT", "rr model", "rs CMT", "rs model"},
+	}
+	lp := cfg.LogicalPages()
+	for _, s := range Schemes() {
+		f, err := New(s, cfg)
+		if err != nil {
+			return Table{}, err
+		}
+		sim.Warmed(f, workload.RocksDBFill(lp, 0.8, float64(b.WarmExtra), 3), 0)
+		rr := measure(f, workload.RocksDBReadRandom(lp, 0.8, 1, b.Requests, 5))
+		rs := measure(f, workload.RocksDBReadSeq(lp, 0.8, 1, b.Requests, 5))
+		t.Rows = append(t.Rows, []string{
+			s.String(), f1(rr.ReadMBps), f1(rs.ReadMBps),
+			pct(rr.CMTHitRatio), pct(rr.ModelHitRatio),
+			pct(rs.CMTHitRatio), pct(rs.ModelHitRatio),
+		})
+	}
+	return t, nil
+}
+
+// Fig20 reproduces the Filebench comparison across all five FTLs.
+func Fig20(cfg Config, b Budget) (Table, error) {
+	t := Table{
+		Title:  "Fig 20: Filebench throughput (MB/s read+write; Table I configs)",
+		Header: []string{"FTL", "fileserver", "webserver", "varmail"},
+	}
+	for _, s := range Schemes() {
+		f, err := newWarmed(s, cfg, b.WarmExtra)
+		if err != nil {
+			return Table{}, err
+		}
+		var cells []string
+		cells = append(cells, s.String())
+		for _, k := range []workload.FilebenchKind{workload.Fileserver, workload.Webserver, workload.Varmail} {
+			r := filebenchRun(f, k, b)
+			cells = append(cells, f1(r.ReadMBps+r.WriteMBps))
+		}
+		t.Rows = append(t.Rows, cells)
+	}
+	return t, nil
+}
+
+// traceSchemes are the FTLs of the tail-latency and energy evaluations.
+func traceSchemes() []Scheme {
+	return []Scheme{SchemeTPFTL, SchemeLeaFTL, SchemeLearnedFTL, SchemeIdeal}
+}
+
+// runTrace replays one synthetic trace on a warmed device.
+func runTrace(f FTL, spec workload.TraceSpec, b Budget) stats.Report {
+	gens := spec.Generators(f.Config().LogicalPages(), 4, b.TraceScale)
+	return measure(f, gens)
+}
+
+// Fig21 reproduces the tail-latency evaluation over the four Table II
+// traces.
+func Fig21(cfg Config, b Budget) (Table, error) {
+	t := Table{
+		Title:  "Fig 21: P99 / P99.9 tail latency under real-world traces",
+		Header: []string{"trace", "TPFTL p99", "LeaFTL p99", "LearnedFTL p99", "ideal p99", "TPFTL p999", "LeaFTL p999", "LearnedFTL p999", "ideal p999"},
+	}
+	for _, spec := range workload.Traces() {
+		p99 := make([]string, 0, 4)
+		p999 := make([]string, 0, 4)
+		for _, s := range traceSchemes() {
+			f, err := newWarmed(s, cfg, b.WarmExtra)
+			if err != nil {
+				return Table{}, err
+			}
+			r := runTrace(f, spec, b)
+			p99 = append(p99, ms(r.P99))
+			p999 = append(p999, ms(r.P999))
+		}
+		row := append([]string{spec.Name}, p99...)
+		row = append(row, p999...)
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Fig22 reproduces the energy comparison over the four traces, normalized
+// to TPFTL.
+func Fig22(cfg Config, b Budget) (Table, error) {
+	t := Table{
+		Title:  "Fig 22: energy under real-world traces (normalized to TPFTL)",
+		Header: []string{"trace", "TPFTL", "LeaFTL", "LearnedFTL", "ideal"},
+	}
+	for _, spec := range workload.Traces() {
+		var base float64
+		cells := []string{spec.Name}
+		for i, s := range traceSchemes() {
+			f, err := newWarmed(s, cfg, b.WarmExtra)
+			if err != nil {
+				return Table{}, err
+			}
+			r := runTrace(f, spec, b)
+			if i == 0 {
+				base = r.EnergyMJ
+			}
+			if base > 0 {
+				cells = append(cells, f2(r.EnergyMJ/base))
+			} else {
+				cells = append(cells, "n/a")
+			}
+		}
+		t.Rows = append(t.Rows, cells)
+	}
+	return t, nil
+}
+
+// Table2 self-checks the synthetic trace generators against the published
+// Table II characteristics.
+func Table2(cfg Config, b Budget) (Table, error) {
+	t := Table{
+		Title:  "Table II: synthetic trace generators vs published characteristics",
+		Header: []string{"trace", "#I/O (paper)", "#I/O (gen)", "avg KB (paper)", "avg KB (gen)", "read% (paper)", "read% (gen)"},
+	}
+	for _, spec := range workload.Traces() {
+		reqs, avgKB, readFrac := spec.Stats(cfg.LogicalPages(), b.TraceScale)
+		t.Rows = append(t.Rows, []string{
+			spec.Name,
+			fmt.Sprint(spec.Requests), fmt.Sprintf("%d (×%.2f)", reqs, b.TraceScale),
+			f1(spec.AvgKB), f1(avgKB),
+			pct(spec.ReadRatio), pct(readFrac),
+		})
+	}
+	return t, nil
+}
+
+// Experiments maps experiment ids to runners; cmd/ftlbench and the README
+// use these ids.
+func Experiments() map[string]func(Config, Budget) (Table, error) {
+	return map[string]func(Config, Budget) (Table, error){
+		"fig2":   Fig2,
+		"fig3":   Fig3,
+		"fig6":   Fig6,
+		"fig7":   Fig7,
+		"fig14":  Fig14,
+		"fig15":  func(Config, Budget) (Table, error) { return Fig15() },
+		"fig16":  Fig16,
+		"fig17":  Fig17,
+		"fig18":  Fig18,
+		"fig19":  Fig19,
+		"fig20":  Fig20,
+		"fig21":  Fig21,
+		"fig22":  Fig22,
+		"table2": Table2,
+	}
+}
+
+// ExperimentIDs returns the sorted experiment ids.
+func ExperimentIDs() []string {
+	m := Experiments()
+	ids := make([]string, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}

@@ -1,0 +1,460 @@
+// Package core implements LearnedFTL, the paper's contribution (§III): a
+// demand-based page-level FTL (TPFTL base) augmented with per-GTD-entry
+// in-place-update linear models gated by bitmap filters, the virtual-PPN
+// representation, group-based allocation over superblock stripes with
+// opportunistic cross-group borrowing, and model training during GC plus
+// computation-free sequential initialization on the write path.
+//
+// The read path tries, in order: CMT hit (single read), accurate model
+// prediction (single read — the double read is eliminated), then the demand
+// double-read fallback.
+package core
+
+import (
+	"fmt"
+
+	"learnedftl/internal/ftl"
+	"learnedftl/internal/learned"
+	"learnedftl/internal/mapping"
+	"learnedftl/internal/nand"
+	"learnedftl/internal/stats"
+)
+
+// Options tweak LearnedFTL behavior for the paper's ablations.
+type Options struct {
+	// ChargeTraining adds the measured CPU cost of sorting+training per
+	// GTD entry to GC time (Fig. 15/17/18a). Disabled = the paper's
+	// "w/o training&sorting" configuration.
+	ChargeTraining bool
+	// SortTrainCost is the virtual CPU time per GTD entry for GC-time
+	// sorting + training (paper: ~50µs on ARM Cortex-A72).
+	SortTrainCost nand.Time
+	// PredictCost is the virtual CPU time of one model prediction on the
+	// read path (paper Fig. 15: 0.65µs). Zero gives the paper's "ideal
+	// LearnedFTL" that fetches the PPN from a full DRAM map instead
+	// (Fig. 18b).
+	PredictCost nand.Time
+	// DisableVPPN trains models on raw PPNs instead of VPPNs — the
+	// ablation showing why §III-C exists.
+	DisableVPPN bool
+	// DisableSeqInit turns off §III-E1 sequential initialization.
+	DisableSeqInit bool
+	// DisableCrossGroup turns off §III-D opportunistic cross-group
+	// allocation.
+	DisableCrossGroup bool
+}
+
+// DefaultOptions returns the paper's configuration.
+func DefaultOptions() Options {
+	return Options{
+		ChargeTraining: true,
+		SortTrainCost:  50 * nand.Microsecond,
+		PredictCost:    650, // 0.65µs
+	}
+}
+
+// group tracks one GTD entry group's allocation state (§III-D).
+type group struct {
+	rows      []int // owned superblock rows; last is active
+	wp        int   // next slot in the active row, in [0, sbPages]
+	encroach  int   // pages other groups borrowed from our active row
+	pendingGC bool  // borrow threshold crossed; GC when convenient
+}
+
+// LearnedFTL is the paper's FTL.
+type LearnedFTL struct {
+	cfg   ftl.Config
+	opt   Options
+	fl    *nand.Flash
+	codec nand.AddrCodec
+	col   *stats.Collector
+
+	l2p    []nand.PPN
+	gtd    *mapping.GTD
+	cmt    *mapping.CMT
+	models []*learned.InPlaceModel // one per GTD entry (= per TPN)
+
+	// Group-based allocation.
+	span       int // logical pages per group
+	sbPages    int // physical pages per superblock row
+	ngroups    int
+	groups     []group
+	rowOwner   []int // row -> group id, -1 free, -2 translation pool
+	rowInvalid []int // invalid data pages per row
+	freeRows   []int // stack of free rows (descending, so low rows pop first)
+	transRows  int
+	reserve    int // rows kept free for GC relocation targets
+
+	tp      *transPool
+	emaLen  float64
+	pending []int // groups whose encroachment crossed the GC threshold
+
+	inGC bool
+}
+
+// New builds a LearnedFTL device. The configuration's logical space must be
+// group-aligned and the geometry must leave enough superblock rows for the
+// groups plus GC reserve; DefaultConfig at paper or paper-scaled geometry
+// satisfies both.
+func New(cfg ftl.Config, opt Options) (*LearnedFTL, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g := cfg.Geometry
+	codec := nand.NewAddrCodec(g)
+	span := cfg.GroupEntries * cfg.EntriesPerTP
+	sbPages := codec.SuperblockPages()
+	if span > sbPages {
+		return nil, fmt.Errorf("core: group span %d exceeds superblock capacity %d; lower GroupEntries", span, sbPages)
+	}
+	lp := cfg.LogicalPages()
+	lp -= lp % int64(span)
+	if lp == 0 {
+		return nil, fmt.Errorf("core: logical space smaller than one group (%d pages)", span)
+	}
+	ngroups := int(lp / int64(span))
+	numTPNs := int(lp) / cfg.EntriesPerTP
+
+	// Size the translation pool: 2.5x the live translation pages, at least
+	// one block per unit row and at least 2 rows of slack for GC.
+	tpPages := 5 * numTPNs / 2
+	transRows := (tpPages + sbPages - 1) / sbPages
+	if transRows < 2 {
+		transRows = 2
+	}
+	reserve := 2
+	dataRows := g.BlocksPerUnit - transRows
+	if ngroups+reserve > dataRows {
+		return nil, fmt.Errorf("core: need %d data rows (%d groups + %d reserve) but geometry has %d; raise OPRatio",
+			ngroups+reserve, ngroups, reserve, dataRows)
+	}
+
+	fl, err := nand.NewFlash(g, cfg.Timing)
+	if err != nil {
+		return nil, err
+	}
+	l2p := make([]nand.PPN, lp)
+	for i := range l2p {
+		l2p[i] = nand.InvalidPPN
+	}
+	f := &LearnedFTL{
+		cfg:        cfg,
+		opt:        opt,
+		fl:         fl,
+		codec:      codec,
+		col:        stats.NewCollector(),
+		l2p:        l2p,
+		gtd:        mapping.NewGTD(numTPNs),
+		cmt:        mapping.NewCMT(cfg.CMTEntriesFor(cfg.CMTRatio / 2)),
+		models:     make([]*learned.InPlaceModel, numTPNs),
+		span:       span,
+		sbPages:    sbPages,
+		ngroups:    ngroups,
+		groups:     make([]group, ngroups),
+		rowOwner:   make([]int, g.BlocksPerUnit),
+		rowInvalid: make([]int, g.BlocksPerUnit),
+		transRows:  transRows,
+		reserve:    reserve,
+		tp:         newTransPool(fl, transRows),
+		emaLen:     1,
+	}
+	for i := range f.models {
+		f.models[i] = learned.NewInPlaceModel(cfg.EntriesPerTP, cfg.MaxPieces)
+	}
+	for r := range f.rowOwner {
+		f.rowOwner[r] = -1
+	}
+	for r := 0; r < transRows; r++ {
+		f.rowOwner[r] = -2
+	}
+	for r := g.BlocksPerUnit - 1; r >= transRows; r-- {
+		f.freeRows = append(f.freeRows, r)
+	}
+	return f, nil
+}
+
+// Name implements ftl.FTL.
+func (f *LearnedFTL) Name() string { return "LearnedFTL" }
+
+// Collector implements ftl.FTL.
+func (f *LearnedFTL) Collector() *stats.Collector { return f.col }
+
+// Flash implements ftl.FTL.
+func (f *LearnedFTL) Flash() *nand.Flash { return f.fl }
+
+// Config implements ftl.FTL.
+func (f *LearnedFTL) Config() ftl.Config { return f.cfg }
+
+// LogicalPages returns the group-aligned logical capacity of this device.
+func (f *LearnedFTL) LogicalPages() int64 { return int64(len(f.l2p)) }
+
+// Mapped reports whether lpn holds data.
+func (f *LearnedFTL) Mapped(lpn int64) bool { return f.l2p[lpn] != nand.InvalidPPN }
+
+// CMT exposes the mapping cache (tests, experiments).
+func (f *LearnedFTL) CMT() *mapping.CMT { return f.cmt }
+
+// ModelAccuracy returns the fraction of mapped LPNs whose bitmap bit
+// guarantees an exact prediction — the paper's "55.5% accuracy" metric.
+func (f *LearnedFTL) ModelAccuracy() (setBits, mappedLPNs int64) {
+	for tpn, m := range f.models {
+		setBits += int64(m.AccurateBits())
+		lo, hi := f.cfg.TPRange(tpn)
+		for l := lo; l < hi; l++ {
+			if f.Mapped(l) {
+				mappedLPNs++
+			}
+		}
+	}
+	return setBits, mappedLPNs
+}
+
+// ModelsBytes returns the DRAM footprint of all in-place models.
+func (f *LearnedFTL) ModelsBytes() int {
+	if len(f.models) == 0 {
+		return 0
+	}
+	return len(f.models) * f.models[0].SizeBytes()
+}
+
+// toVirtual maps physical→virtual for training, honoring the VPPN ablation.
+func (f *LearnedFTL) toVirtual(p nand.PPN) int64 {
+	if f.opt.DisableVPPN {
+		return int64(p)
+	}
+	return int64(f.codec.ToVirtual(p))
+}
+
+// fromVirtual maps a model prediction back to a physical page.
+func (f *LearnedFTL) fromVirtual(v int64) nand.PPN {
+	if f.opt.DisableVPPN {
+		return nand.PPN(v)
+	}
+	return f.codec.ToPhysical(nand.VPPN(v))
+}
+
+// observe updates the TPFTL-style request length EMA.
+func (f *LearnedFTL) observe(n int) {
+	const alpha = 0.2
+	f.emaLen = (1-alpha)*f.emaLen + alpha*float64(n)
+}
+
+// ReadPages implements ftl.FTL.
+func (f *LearnedFTL) ReadPages(lpn int64, n int, now nand.Time) nand.Time {
+	f.observe(n)
+	end := now
+	for k := 0; k < n; k++ {
+		if done := f.readOne(lpn+int64(k), n-k, now); done > end {
+			end = done
+		}
+	}
+	return end
+}
+
+func (f *LearnedFTL) readOne(lpn int64, remaining int, now nand.Time) nand.Time {
+	f.col.CMTLookups++
+	if ppn, ok := f.cmt.Lookup(lpn); ok {
+		f.col.CMTHits++
+		f.col.RecordClass(stats.ReadSingle)
+		return f.fl.Read(ppn, now, nand.OpHostData)
+	}
+	if !f.Mapped(lpn) {
+		f.col.RecordClass(stats.ReadSingle)
+		return now
+	}
+	tpn := f.cfg.TPNOf(lpn)
+	off := int(lpn - int64(tpn)*int64(f.cfg.EntriesPerTP))
+	// Bitmap check, then model prediction (§III-B): the bitmap guarantees
+	// the prediction is exact, so this is a single flash read with zero
+	// miss penalty.
+	if v, ok := f.models[tpn].Predict(off); ok {
+		ppn := f.fromVirtual(v)
+		if ppn != f.l2p[lpn] {
+			panic(fmt.Sprintf("core: model predicted %d for lpn %d but truth is %d (bitmap invariant broken)",
+				ppn, lpn, f.l2p[lpn]))
+		}
+		f.col.ModelHits++
+		f.col.RecordClass(stats.ReadSingle)
+		// The prediction itself costs CPU time (bitmap check + y=kx+b +
+		// VPPN→PPN translation) before the flash read can issue.
+		return f.fl.Read(ppn, now+f.opt.PredictCost, nand.OpHostData)
+	}
+	// Fallback: TPFTL demand path with prefetch — the double read.
+	t := now
+	if f.gtd.Written(tpn) {
+		t = f.fl.Read(f.gtd.Lookup(tpn), t, nand.OpTranslation)
+	}
+	span := f.prefetchSpan(lpn, remaining)
+	for o := int64(0); o < span; o++ {
+		l := lpn + o
+		if f.Mapped(l) && !f.cmt.Contains(l) {
+			f.cmt.Insert(l, f.l2p[l], false)
+		}
+	}
+	f.cmt.Insert(lpn, f.l2p[lpn], false)
+	t = f.drainEvictions(t)
+	f.col.RecordClass(stats.ReadDouble)
+	return f.fl.Read(f.l2p[lpn], t, nand.OpHostData)
+}
+
+func (f *LearnedFTL) prefetchSpan(lpn int64, remaining int) int64 {
+	want := int64(remaining)
+	if ema := int64(f.emaLen + 0.5); ema > want {
+		want = ema
+	}
+	if want < 1 {
+		want = 1
+	}
+	_, hi := f.cfg.TPRange(f.cfg.TPNOf(lpn))
+	if lpn+want > hi {
+		want = hi - lpn
+	}
+	return want
+}
+
+// WritePages implements ftl.FTL.
+func (f *LearnedFTL) WritePages(lpn int64, n int, now nand.Time) nand.Time {
+	f.observe(n)
+	end := now
+	type run struct {
+		tpn      int
+		startLPN int64
+		startOff int
+		length   int
+		firstV   int64
+		lastV    int64
+	}
+	var cur run
+	flushRun := func() {
+		if cur.length > 0 && !f.opt.DisableSeqInit {
+			// §III-E1: a consecutive-LPN write that landed on consecutive
+			// VPPNs is itself a y=x model — install it in place. A group GC
+			// triggered mid-request may have relocated part of the run, so
+			// re-derive the anchor from the live mapping and only install
+			// when the run is still contiguous (GC already retrained the
+			// moved part).
+			firstV := f.toVirtual(f.l2p[cur.startLPN])
+			lastV := f.toVirtual(f.l2p[cur.startLPN+int64(cur.length-1)])
+			if lastV-firstV == int64(cur.length-1) {
+				f.models[cur.tpn].SequentialInit(cur.startOff, cur.length, firstV)
+			}
+		}
+		cur = run{}
+	}
+	for k := 0; k < n; k++ {
+		l := lpn + int64(k)
+		done, vppn := f.writeOne(l, now)
+		if done > end {
+			end = done
+		}
+		tpn := f.cfg.TPNOf(l)
+		off := int(l - int64(tpn)*int64(f.cfg.EntriesPerTP))
+		switch {
+		case cur.length == 0:
+			cur = run{tpn: tpn, startLPN: l, startOff: off, length: 1, firstV: vppn, lastV: vppn}
+		case tpn == cur.tpn && off == cur.startOff+cur.length && vppn == cur.lastV+1:
+			cur.length++
+			cur.lastV = vppn
+		default:
+			flushRun()
+			cur = run{tpn: tpn, startLPN: l, startOff: off, length: 1, firstV: vppn, lastV: vppn}
+		}
+	}
+	flushRun()
+	return end
+}
+
+// writeOne programs one host page through group-based allocation and keeps
+// the CMT and model bitmap coherent. It returns the completion time and the
+// page's virtual PPN (for sequential initialization).
+func (f *LearnedFTL) writeOne(lpn int64, now nand.Time) (nand.Time, int64) {
+	tpn := f.cfg.TPNOf(lpn)
+	off := int(lpn - int64(tpn)*int64(f.cfg.EntriesPerTP))
+	// Consistency first (§III-B): an overwritten LPN must not predict its
+	// stale location.
+	f.models[tpn].Invalidate(off)
+
+	vppn, t := f.allocSlot(int(lpn/int64(f.span)), now)
+	ppn := f.codec.ToPhysical(nand.VPPN(vppn))
+	done, err := f.fl.Program(ppn, nand.OOB{Key: lpn}, t, nand.OpHostData)
+	if err != nil {
+		panic(fmt.Sprintf("core: %v", err))
+	}
+	if old := f.l2p[lpn]; old != nand.InvalidPPN {
+		f.invalidateData(old)
+	}
+	f.l2p[lpn] = ppn
+	// allocSlot may have run a group GC that retrained this entry's model
+	// against the pre-write mapping; the bit for this LPN is stale again.
+	f.models[tpn].Invalidate(off)
+	f.cmt.Insert(lpn, ppn, true)
+	done = f.drainEvictions(done)
+	done = f.runPendingGC(done)
+	done = f.replenishReserve(done)
+	// runPendingGC may have relocated the page just written; report the
+	// page's current location so the sequential-init run tracker stays
+	// truthful.
+	return done, f.toVirtual(f.l2p[lpn])
+}
+
+// invalidateData invalidates a data page and maintains per-row invalid
+// counters used for GC victim selection.
+func (f *LearnedFTL) invalidateData(p nand.PPN) {
+	if err := f.fl.Invalidate(p); err != nil {
+		panic(fmt.Sprintf("core: %v", err))
+	}
+	f.rowInvalid[f.codec.Decode(p).Block]++
+}
+
+// drainEvictions applies TPFTL-style batched write-back to the CMT.
+func (f *LearnedFTL) drainEvictions(now nand.Time) nand.Time {
+	for f.cmt.NeedsEviction() {
+		e, ok := f.cmt.EvictLRU()
+		if !ok {
+			break
+		}
+		if !e.Dirty {
+			continue
+		}
+		tpn := f.cfg.TPNOf(e.LPN)
+		now = f.updateTrans(tpn, true, now)
+		lo, hi := f.cfg.TPRange(tpn)
+		for _, de := range f.cmt.DirtyInRange(lo, hi) {
+			f.cmt.MarkClean(de.LPN)
+		}
+	}
+	return now
+}
+
+// updateTrans persists translation page tpn through the translation pool.
+func (f *LearnedFTL) updateTrans(tpn int, doRead bool, now nand.Time) nand.Time {
+	old := nand.InvalidPPN
+	if f.gtd.Written(tpn) {
+		old = f.gtd.Lookup(tpn)
+		if doRead {
+			now = f.fl.Read(old, now, nand.OpTranslation)
+		}
+	}
+	np, ok := f.tp.alloc()
+	for !ok {
+		var collected bool
+		now, collected = f.tp.gcTrans(now, func(movedTPN int, moved nand.PPN) {
+			f.gtd.Update(movedTPN, moved)
+		})
+		if !collected {
+			panic("core: translation pool exhausted")
+		}
+		np, ok = f.tp.alloc()
+	}
+	done, err := f.fl.Program(np, nand.OOB{Key: int64(tpn), Trans: true}, now, nand.OpTranslation)
+	if err != nil {
+		panic(fmt.Sprintf("core: %v", err))
+	}
+	if old != nand.InvalidPPN {
+		if err := f.fl.Invalidate(old); err != nil {
+			panic(fmt.Sprintf("core: %v", err))
+		}
+	}
+	f.gtd.Update(tpn, np)
+	return done
+}

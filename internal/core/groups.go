@@ -1,0 +1,417 @@
+package core
+
+import (
+	"fmt"
+
+	"learnedftl/internal/nand"
+)
+
+// rowVPPNBase returns the first VPPN of superblock row r.
+func (f *LearnedFTL) rowVPPNBase(r int) int64 { return int64(r) * int64(f.sbPages) }
+
+// takeRow assigns a free superblock row to group gid as its new active row.
+func (f *LearnedFTL) takeRow(gid int) {
+	n := len(f.freeRows)
+	row := f.freeRows[n-1]
+	f.freeRows = f.freeRows[:n-1]
+	f.rowOwner[row] = gid
+	f.rowInvalid[row] = 0
+	g := &f.groups[gid]
+	g.rows = append(g.rows, row)
+	g.wp = 0
+}
+
+// encroachThreshold is how many borrowed pages a donor group tolerates
+// before GC collects donor and encroachers together (§III-D).
+func (f *LearnedFTL) encroachThreshold() int {
+	t := f.sbPages / 8
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// borrowSlot implements opportunistic cross-group allocation: the hot group
+// gid takes one free page slot from the coldest group's active superblock,
+// avoiding or delaying GC. Returns the VPPN of the borrowed slot.
+func (f *LearnedFTL) borrowSlot(gid int) (int64, bool) {
+	donor, bestFree := -1, 0
+	for id := range f.groups {
+		if id == gid {
+			continue
+		}
+		g := &f.groups[id]
+		if len(g.rows) == 0 || g.wp >= f.sbPages {
+			continue
+		}
+		if free := f.sbPages - g.wp; free > bestFree {
+			donor, bestFree = id, free
+		}
+	}
+	if donor < 0 {
+		return 0, false
+	}
+	g := &f.groups[donor]
+	row := g.rows[len(g.rows)-1]
+	v := f.rowVPPNBase(row) + int64(g.wp)
+	g.wp++
+	g.encroach++
+	if g.encroach >= f.encroachThreshold() && !g.pendingGC {
+		g.pendingGC = true
+		f.pending = append(f.pending, donor)
+	}
+	return v, true
+}
+
+// allocSlot returns the VPPN slot for the next page of group gid, running
+// group GC when the device is out of easy space. The returned time accounts
+// for any GC performed.
+//
+// Policy (§III-D): extend the group with a fresh superblock while the pool
+// has slack; otherwise prefer borrowing a cold group's free slots; GC the
+// most-invalid group when collecting it nets at least one whole superblock,
+// and only fall back to a low-gain forced GC when nothing else can provide
+// a slot.
+func (f *LearnedFTL) allocSlot(gid int, now nand.Time) (int64, nand.Time) {
+	g := &f.groups[gid]
+	for attempt := 0; ; attempt++ {
+		if len(g.rows) > 0 && g.wp < f.sbPages {
+			row := g.rows[len(g.rows)-1]
+			v := f.rowVPPNBase(row) + int64(g.wp)
+			g.wp++
+			return v, now
+		}
+		if len(g.rows) < f.cfg.GroupSuperblocks && len(f.freeRows) > f.reserve {
+			f.takeRow(gid)
+			continue
+		}
+		if f.inGC {
+			// GC evacuation cannot recurse into another GC: borrow from
+			// any group but the victim, then dip into the reserve.
+			if !f.opt.DisableCrossGroup {
+				if v, ok := f.borrowSlot(gid); ok {
+					return v, now
+				}
+			}
+			if len(f.freeRows) > 0 {
+				f.takeRow(gid)
+				continue
+			}
+			panic("core: reserve exhausted during GC evacuation")
+		}
+		victim, invalid := f.mostInvalidGroup()
+		if invalid >= f.sbPages {
+			now = f.gcGroup(victim, now)
+			continue
+		}
+		if !f.opt.DisableCrossGroup {
+			if v, ok := f.borrowSlot(gid); ok {
+				return v, now
+			}
+		}
+		switch attempt {
+		case 0:
+			now = f.gcGroup(victim, now) // forced, low gain
+		case 1:
+			now = f.gcGroup(gid, now)
+		default:
+			if len(f.freeRows) > 0 {
+				f.takeRow(gid)
+				continue
+			}
+			panic("core: group allocation wedged (device overcommitted)")
+		}
+	}
+}
+
+// mostInvalidGroup returns the group with the most invalid data pages in its
+// rows and that count (§III-D: "GC is performed on the GTD entry group with
+// the most invalid data pages").
+func (f *LearnedFTL) mostInvalidGroup() (int, int) {
+	victim, best := 0, -1
+	for id := range f.groups {
+		inv := 0
+		for _, r := range f.groups[id].rows {
+			inv += f.rowInvalid[r]
+		}
+		if inv > best {
+			victim, best = id, inv
+		}
+	}
+	return victim, best
+}
+
+// runPendingGC collects donor groups whose encroachment crossed the
+// threshold, outside the allocation fast path. A donor is only collected
+// when doing so reclaims meaningful space; otherwise its trigger re-arms for
+// later.
+func (f *LearnedFTL) runPendingGC(now nand.Time) nand.Time {
+	for len(f.pending) > 0 && !f.inGC {
+		gid := f.pending[0]
+		f.pending = f.pending[1:]
+		g := &f.groups[gid]
+		if !g.pendingGC {
+			continue
+		}
+		inv := 0
+		for _, r := range g.rows {
+			inv += f.rowInvalid[r]
+		}
+		if inv >= f.sbPages/2 {
+			now = f.gcGroup(gid, now)
+		} else {
+			// Not worth collecting yet; keep the encroach count so the
+			// donor stays retired until a real GC resets it.
+			g.pendingGC = false
+		}
+	}
+	return now
+}
+
+// replenishReserve keeps the free-row pool at the GC reserve by proactively
+// collecting the most-invalid group, so a collection can always claim its
+// relocation target. It stops when a pass makes no progress (nothing
+// reclaimable yet).
+func (f *LearnedFTL) replenishReserve(now nand.Time) nand.Time {
+	for !f.inGC && len(f.freeRows) < f.reserve {
+		victim, invalid := f.mostInvalidGroup()
+		if invalid == 0 {
+			break
+		}
+		before := len(f.freeRows)
+		now = f.gcGroup(victim, now)
+		if len(f.freeRows) <= before {
+			break
+		}
+	}
+	return now
+}
+
+// gcGroup performs group-based GC with model training (§III-E2) on gid.
+// Foreign pages that hot groups borrowed into gid's superblocks (§III-D) are
+// evacuated individually back to their owner groups — never collected
+// wholesale — so one collection cannot cascade across the device.
+func (f *LearnedFTL) gcGroup(gid int, now nand.Time) nand.Time {
+	if f.inGC {
+		return now
+	}
+	f.inGC = true
+	defer func() { f.inGC = false }()
+
+	// Claim the relocation target before anything else can drain the pool.
+	if len(f.freeRows) == 0 {
+		panic("core: no free row for GC relocation target")
+	}
+	n := len(f.freeRows) - 1
+	newRow := f.freeRows[n]
+	f.freeRows = f.freeRows[:n]
+
+	t := now
+	moved := 0
+	// Relocate the victim's own pages first: its fresh superblock then has
+	// (sbPages − live) free slots, which the foreign-page evacuation below
+	// can borrow — the collection never needs more than the one row it
+	// claimed.
+	var oldRows []int
+	t = f.relocateGroup(gid, newRow, t, &moved, &oldRows)
+	// Rows already free of foreign pages erase immediately, replenishing
+	// the pool before evacuation might need a row of its own.
+	t = f.eraseFreeable(&oldRows, t)
+	// If foreign pages remain but the compacted superblock is full (a fully
+	// live group), open a scratch superblock for the victim: the evacuation
+	// below borrows its slots, and each emptied old row erases right away,
+	// so one bootstrap row always suffices.
+	g := &f.groups[gid]
+	if len(oldRows) > 0 && g.wp >= f.sbPages && len(f.freeRows) > 0 &&
+		len(g.rows) < f.cfg.GroupSuperblocks {
+		f.takeRow(gid)
+	}
+	// Evacuate row by row, erasing each row as it empties.
+	for len(oldRows) > 0 {
+		row := oldRows[0]
+		t = f.evacuateForeign([]int{row}, gid, t, &moved)
+		before := len(oldRows)
+		t = f.eraseFreeable(&oldRows, t)
+		if len(oldRows) == before {
+			panic(fmt.Sprintf("core: GC left row %d unerasable", row))
+		}
+	}
+	f.col.RecordGC(now, moved, t-now)
+	return t
+}
+
+// evacuateForeign moves every valid page that belongs to another group out
+// of the collected rows, into its owner group's current write position. The
+// moved LPNs' model bits are cleared (their locations changed without
+// retraining).
+func (f *LearnedFTL) evacuateForeign(rows []int, gid int, t nand.Time, moved *int) nand.Time {
+	start := t
+	for _, row := range rows {
+		base := f.rowVPPNBase(row)
+		for s := 0; s < f.sbPages; s++ {
+			ppn := f.codec.ToPhysical(nand.VPPN(base + int64(s)))
+			if f.fl.State(ppn) != nand.PageValid {
+				continue
+			}
+			oob := f.fl.PageOOB(ppn)
+			if oob.Trans {
+				continue
+			}
+			lpn := oob.Key
+			owner := int(lpn / int64(f.span))
+			if owner == gid {
+				continue
+			}
+			readDone := f.fl.Read(ppn, start, nand.OpGC)
+			v, t2 := f.allocSlot(owner, readDone)
+			np := f.codec.ToPhysical(nand.VPPN(v))
+			done, err := f.fl.Program(np, nand.OOB{Key: lpn}, t2, nand.OpGC)
+			if err != nil {
+				panic(fmt.Sprintf("core: %v", err))
+			}
+			if done > t {
+				t = done
+			}
+			f.invalidateData(ppn)
+			f.l2p[lpn] = np
+			f.cmt.UpdatePPN(lpn, np)
+			tpn := f.cfg.TPNOf(lpn)
+			f.models[tpn].Invalidate(int(lpn - int64(tpn)*int64(f.cfg.EntriesPerTP)))
+			*moved++
+		}
+	}
+	return t
+}
+
+// relocateGroup executes §III-E2 for one group: read its translation pages,
+// gather and sort the valid mappings, write them back to the pre-claimed
+// fresh superblock `newRow` in VPPN order, retrain every GTD entry's
+// in-place model, and persist the rewritten translation pages.
+func (f *LearnedFTL) relocateGroup(id, newRow int, t nand.Time, moved *int, oldRows *[]int) nand.Time {
+	g := &f.groups[id]
+	loLPN := int64(id) * int64(f.span)
+	hiLPN := loLPN + int64(f.span)
+
+	// Step ①: regulate valid mappings — read the group's translation pages.
+	// Reads on distinct chips overlap (FEMU-style GC parallelism).
+	start := t
+	loTPN := id * f.cfg.GroupEntries
+	for e := 0; e < f.cfg.GroupEntries; e++ {
+		if tpn := loTPN + e; f.gtd.Written(tpn) {
+			if done := f.fl.Read(f.gtd.Lookup(tpn), start, nand.OpGC); done > t {
+				t = done
+			}
+		}
+	}
+	var lpns []int64
+	for l := loLPN; l < hiLPN; l++ {
+		if f.l2p[l] != nand.InvalidPPN {
+			lpns = append(lpns, l)
+		}
+	}
+
+	// Step ②: write valid pages back to the fresh superblock → contiguous
+	// VPPNs for sorted LPNs.
+	*oldRows = append(*oldRows, g.rows...)
+	g.rows = []int{newRow}
+	g.wp = 0
+	g.encroach = 0
+	g.pendingGC = false
+	f.rowOwner[newRow] = id
+	f.rowInvalid[newRow] = 0
+	row := newRow
+	base := f.rowVPPNBase(row)
+	relocStart := t
+	for i, lpn := range lpns {
+		old := f.l2p[lpn]
+		readDone := f.fl.Read(old, relocStart, nand.OpGC)
+		np := f.codec.ToPhysical(nand.VPPN(base + int64(i)))
+		done, err := f.fl.Program(np, nand.OOB{Key: lpn}, readDone, nand.OpGC)
+		if err != nil {
+			panic(fmt.Sprintf("core: %v", err))
+		}
+		if done > t {
+			t = done
+		}
+		f.invalidateData(old)
+		f.l2p[lpn] = np
+		f.cmt.UpdatePPN(lpn, np)
+	}
+	g.wp = len(lpns)
+	*moved += len(lpns)
+
+	// Steps ③/④: train each GTD entry's model and evaluate its bitmap,
+	// then persist the group's translation pages.
+	vppns := make([]int64, f.cfg.EntriesPerTP)
+	for e := 0; e < f.cfg.GroupEntries; e++ {
+		tpn := loTPN + e
+		lo, hi := f.cfg.TPRange(tpn)
+		baseV := int64(-1)
+		for i := range vppns {
+			vppns[i] = -1
+		}
+		for l := lo; l < hi; l++ {
+			if p := f.l2p[l]; p != nand.InvalidPPN {
+				v := f.toVirtual(p)
+				vppns[l-lo] = v
+				if baseV < 0 || v < baseV {
+					baseV = v
+				}
+			}
+		}
+		if baseV >= 0 {
+			f.models[tpn].TrainFull(baseV, vppns)
+			f.col.ModelTrainings++
+			if f.opt.ChargeTraining {
+				t += f.opt.SortTrainCost
+				f.col.SortTrainOps++
+				f.col.SortTrainNS += int64(f.opt.SortTrainCost)
+			}
+		}
+		t = f.updateTrans(tpn, false, t)
+		for _, de := range f.cmt.DirtyInRange(lo, hi) {
+			f.cmt.MarkClean(de.LPN)
+		}
+	}
+	return t
+}
+
+// eraseFreeable erases and releases every collected row whose blocks hold no
+// valid pages. Erases on distinct chips proceed in parallel.
+func (f *LearnedFTL) eraseFreeable(oldRows *[]int, t nand.Time) nand.Time {
+	g := f.fl.Geometry()
+	blocksPerUnit := g.BlocksPerUnit
+	remaining := (*oldRows)[:0]
+	end := t
+	for _, row := range *oldRows {
+		freeable := true
+		for u := 0; u < g.Units(); u++ {
+			if f.fl.BlockValid(u*blocksPerUnit+row) != 0 {
+				freeable = false
+				break
+			}
+		}
+		if !freeable {
+			remaining = append(remaining, row)
+			continue
+		}
+		for u := 0; u < g.Units(); u++ {
+			blk := u*blocksPerUnit + row
+			if f.fl.BlockWritePtr(blk) == 0 {
+				continue
+			}
+			done, err := f.fl.Erase(blk, t)
+			if err != nil {
+				panic(fmt.Sprintf("core: %v", err))
+			}
+			if done > end {
+				end = done
+			}
+		}
+		f.rowOwner[row] = -1
+		f.rowInvalid[row] = 0
+		f.freeRows = append(f.freeRows, row)
+	}
+	*oldRows = remaining
+	return end
+}

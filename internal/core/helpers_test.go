@@ -1,0 +1,9 @@
+package core
+
+import "learnedftl/internal/learned"
+
+// learnedModelPaperSize returns the model footprint at the paper's
+// parameters (512-entry GTD entries, 8 pieces).
+func learnedModelPaperSize() int {
+	return learned.NewInPlaceModel(512, 8).SizeBytes()
+}

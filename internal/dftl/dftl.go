@@ -1,0 +1,142 @@
+// Package dftl implements DFTL (Gupta et al., ASPLOS'09), the original
+// demand-based page-level FTL: the full mapping table lives in flash
+// translation pages and a small DRAM cache (CMT) holds the recently used
+// mappings. A CMT miss pays a translation-page flash read before the data
+// read — the double read this paper attacks.
+package dftl
+
+import (
+	"sort"
+
+	"learnedftl/internal/ftl"
+	"learnedftl/internal/mapping"
+	"learnedftl/internal/nand"
+	"learnedftl/internal/stats"
+)
+
+// DFTL is the baseline demand-based FTL.
+type DFTL struct {
+	*ftl.Base
+	cmt *mapping.CMT
+}
+
+// New builds a DFTL device.
+func New(cfg ftl.Config) (*DFTL, error) {
+	b, err := ftl.NewBase(cfg)
+	if err != nil {
+		return nil, err
+	}
+	d := &DFTL{
+		Base: b,
+		cmt:  mapping.NewCMT(cfg.CMTEntries()),
+	}
+	b.Hooks = d
+	return d, nil
+}
+
+// Name implements ftl.FTL.
+func (d *DFTL) Name() string { return "DFTL" }
+
+// CMT exposes the cache for tests.
+func (d *DFTL) CMT() *mapping.CMT { return d.cmt }
+
+// ReadPages implements ftl.FTL.
+func (d *DFTL) ReadPages(lpn int64, n int, now nand.Time) nand.Time {
+	end := now
+	for k := 0; k < n; k++ {
+		if done := d.readOne(lpn+int64(k), now); done > end {
+			end = done
+		}
+	}
+	return end
+}
+
+func (d *DFTL) readOne(lpn int64, now nand.Time) nand.Time {
+	d.Col.CMTLookups++
+	if ppn, ok := d.cmt.Lookup(lpn); ok {
+		d.Col.CMTHits++
+		d.Col.RecordClass(stats.ReadSingle)
+		return d.Fl.Read(ppn, now, nand.OpHostData)
+	}
+	if !d.Mapped(lpn) {
+		// Unwritten LPN: nothing to fetch, served from the zero page.
+		d.Col.RecordClass(stats.ReadSingle)
+		return now
+	}
+	// Miss: fetch the mapping from its translation page (first flash read
+	// of the double read), cache it, then read the data.
+	t := d.ReadTrans(d.Cfg.TPNOf(lpn), now)
+	d.cmt.Insert(lpn, d.L2P[lpn], false)
+	t = d.drainEvictions(t)
+	d.Col.RecordClass(stats.ReadDouble)
+	return d.Fl.Read(d.L2P[lpn], t, nand.OpHostData)
+}
+
+// WritePages implements ftl.FTL.
+func (d *DFTL) WritePages(lpn int64, n int, now nand.Time) nand.Time {
+	end := now
+	for k := 0; k < n; k++ {
+		l := lpn + int64(k)
+		ppn, done := d.HostProgram(l, now)
+		d.cmt.Insert(l, ppn, true)
+		done = d.drainEvictions(done)
+		if done > end {
+			end = done
+		}
+	}
+	return end
+}
+
+// drainEvictions brings the CMT back to capacity. Evicting a dirty entry
+// costs a read-modify-write of its translation page; DFTL writes back one
+// entry at a time (TPFTL adds batching).
+func (d *DFTL) drainEvictions(now nand.Time) nand.Time {
+	for d.cmt.NeedsEviction() {
+		e, ok := d.cmt.EvictLRU()
+		if !ok {
+			break
+		}
+		if e.Dirty {
+			now = d.UpdateTrans(d.Cfg.TPNOf(e.LPN), true, now)
+		}
+	}
+	return now
+}
+
+// DataRelocated implements ftl.RelocHooks: keep cached PPNs current.
+func (d *DFTL) DataRelocated(lpn int64, _, newPPN nand.PPN) {
+	d.cmt.UpdatePPN(lpn, newPPN)
+}
+
+// GCFinalize implements ftl.RelocHooks: persist the new locations of every
+// translation page GC touched. A greedy victim's pages usually scatter over
+// many translation pages, so dynamic allocation pays one RMW per affected
+// page — the extra write amplification the paper's §IV-B(2) attributes to
+// DFTL-style allocation.
+func (d *DFTL) GCFinalize(moved []int64, t nand.Time) nand.Time {
+	tpns := affectedTPNs(d.Cfg, moved)
+	for _, tpn := range tpns {
+		t = d.UpdateTrans(tpn, true, t)
+		lo, hi := d.Cfg.TPRange(tpn)
+		for _, e := range d.cmt.DirtyInRange(lo, hi) {
+			// The rewrite persisted the current truth for this range, so
+			// cached entries are clean now.
+			d.cmt.MarkClean(e.LPN)
+		}
+	}
+	return t
+}
+
+// affectedTPNs returns the sorted unique translation pages of the LPNs.
+func affectedTPNs(cfg ftl.Config, lpns []int64) []int {
+	seen := make(map[int]struct{})
+	for _, l := range lpns {
+		seen[cfg.TPNOf(l)] = struct{}{}
+	}
+	out := make([]int, 0, len(seen))
+	for tpn := range seen {
+		out = append(out, tpn)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,256 @@
+package ftl
+
+import (
+	"fmt"
+	"sort"
+
+	"learnedftl/internal/mapping"
+	"learnedftl/internal/nand"
+	"learnedftl/internal/stats"
+)
+
+// RelocHooks lets a concrete FTL keep its translation structures coherent
+// while the shared garbage collector moves pages around.
+type RelocHooks interface {
+	// DataRelocated fires for every valid data page GC moved, after the
+	// L2P shadow map has been updated.
+	DataRelocated(lpn int64, old, new nand.PPN)
+	// GCFinalize fires once per collected block with the moved LPNs
+	// (sorted when Base.SortRelocate is set) and the virtual time after
+	// relocation; it performs the scheme's translation-page maintenance
+	// and returns the advanced time.
+	GCFinalize(moved []int64, t nand.Time) nand.Time
+}
+
+// NopHooks is a RelocHooks with no translation structures (ideal FTL).
+type NopHooks struct{}
+
+// DataRelocated implements RelocHooks.
+func (NopHooks) DataRelocated(int64, nand.PPN, nand.PPN) {}
+
+// GCFinalize implements RelocHooks.
+func (NopHooks) GCFinalize(_ []int64, t nand.Time) nand.Time { return t }
+
+// Base bundles the state every dynamic-allocation FTL shares: the flash
+// array, the logical-to-physical shadow map (ground truth), the block
+// manager, the GTD and the metrics sink. Concrete FTLs embed it.
+type Base struct {
+	Cfg   Config
+	Fl    *nand.Flash
+	Codec nand.AddrCodec
+	Col   *stats.Collector
+	BM    *BlockMan
+	GTD   *mapping.GTD
+
+	// L2P is the authoritative logical-to-physical map. Translation pages
+	// and caches control when flash operations happen; correctness of the
+	// mapping itself is tracked here, as in trace-driven FTL simulators.
+	L2P []nand.PPN
+
+	// Hooks is set by the embedding FTL before the first write.
+	Hooks RelocHooks
+
+	// SortRelocate makes GC relocate valid pages in ascending LPN order
+	// through least-busy allocation (LeaFTL needs sorted, striped
+	// relocation to train segments; DFTL-family keeps victim-chip
+	// locality).
+	SortRelocate bool
+
+	inGC bool
+}
+
+// NewBase builds the shared device state for cfg.
+func NewBase(cfg Config) (*Base, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	fl, err := nand.NewFlash(cfg.Geometry, cfg.Timing)
+	if err != nil {
+		return nil, err
+	}
+	lp := cfg.LogicalPages()
+	l2p := make([]nand.PPN, lp)
+	for i := range l2p {
+		l2p[i] = nand.InvalidPPN
+	}
+	return &Base{
+		Cfg:   cfg,
+		Fl:    fl,
+		Codec: fl.Codec(),
+		Col:   stats.NewCollector(),
+		BM:    NewBlockMan(fl),
+		GTD:   mapping.NewGTD(cfg.NumTPNs()),
+		L2P:   l2p,
+		Hooks: NopHooks{},
+	}, nil
+}
+
+// Collector implements FTL.
+func (b *Base) Collector() *stats.Collector { return b.Col }
+
+// Flash implements FTL.
+func (b *Base) Flash() *nand.Flash { return b.Fl }
+
+// Config implements FTL.
+func (b *Base) Config() Config { return b.Cfg }
+
+// Mapped reports whether lpn currently has flash-resident data.
+func (b *Base) Mapped(lpn int64) bool { return b.L2P[lpn] != nand.InvalidPPN }
+
+// mustProgram wraps Flash.Program; allocation and programming are paired in
+// this package, so a failure is an internal invariant violation.
+func (b *Base) mustProgram(p nand.PPN, oob nand.OOB, after nand.Time, kind nand.OpKind) nand.Time {
+	done, err := b.Fl.Program(p, oob, after, kind)
+	if err != nil {
+		panic(fmt.Sprintf("ftl: %v", err))
+	}
+	return done
+}
+
+// HostProgram writes one host data page: it reclaims space if needed,
+// allocates on the least-busy chip, programs, and maintains the shadow map.
+// It returns the new PPN and the completion time.
+func (b *Base) HostProgram(lpn int64, after nand.Time) (nand.PPN, nand.Time) {
+	now := b.RunGC(after)
+	ppn, ok := b.BM.AllocPage(false)
+	if !ok {
+		panic("ftl: allocation failed after GC")
+	}
+	done := b.mustProgram(ppn, nand.OOB{Key: lpn}, now, nand.OpHostData)
+	if old := b.L2P[lpn]; old != nand.InvalidPPN {
+		if err := b.Fl.Invalidate(old); err != nil {
+			panic(fmt.Sprintf("ftl: %v", err))
+		}
+	}
+	b.L2P[lpn] = ppn
+	return ppn, done
+}
+
+// ReadTrans reads the translation page tpn from flash (a translation read —
+// the first half of a double read). When the page has never been written the
+// mapping is definitionally absent and no flash read occurs.
+func (b *Base) ReadTrans(tpn int, after nand.Time) nand.Time {
+	if !b.GTD.Written(tpn) {
+		return after
+	}
+	return b.Fl.Read(b.GTD.Lookup(tpn), after, nand.OpTranslation)
+}
+
+// UpdateTrans persists the current mappings of translation page tpn: a
+// read-modify-write when doRead is set and a prior version exists, then a
+// program of the new version. The GTD is repointed and the old version
+// invalidated.
+func (b *Base) UpdateTrans(tpn int, doRead bool, after nand.Time) nand.Time {
+	now := b.RunGC(after)
+	old := nand.InvalidPPN
+	if b.GTD.Written(tpn) {
+		old = b.GTD.Lookup(tpn)
+		if doRead {
+			now = b.Fl.Read(old, now, nand.OpTranslation)
+		}
+	}
+	ppn, ok := b.BM.AllocPage(true)
+	if !ok {
+		panic("ftl: translation allocation failed after GC")
+	}
+	now = b.mustProgram(ppn, nand.OOB{Key: int64(tpn), Trans: true}, now, nand.OpTranslation)
+	if old != nand.InvalidPPN {
+		if err := b.Fl.Invalidate(old); err != nil {
+			panic(fmt.Sprintf("ftl: %v", err))
+		}
+	}
+	b.GTD.Update(tpn, ppn)
+	return now
+}
+
+// RunGC performs greedy garbage collection until the free-block pool is
+// above the low watermark, returning the advanced virtual time. GC runs in
+// the foreground: the triggering request absorbs its full latency, which is
+// the paper's tail-latency mechanism.
+func (b *Base) RunGC(now nand.Time) nand.Time {
+	if b.inGC {
+		return now
+	}
+	for b.BM.FreeBlocks() <= b.Cfg.GCLowWater {
+		done, ok := b.gcOnce(now)
+		if !ok {
+			break
+		}
+		now = done
+	}
+	return now
+}
+
+// gcOnce collects one victim block.
+func (b *Base) gcOnce(now nand.Time) (nand.Time, bool) {
+	victim := b.BM.VictimBlock()
+	if victim < 0 {
+		return now, false
+	}
+	b.inGC = true
+	defer func() { b.inGC = false }()
+
+	g := b.Fl.Geometry()
+	base := b.Codec.Encode(b.Codec.BlockAddr(victim))
+	t := now
+
+	type vp struct {
+		ppn nand.PPN
+		oob nand.OOB
+	}
+	var pages []vp
+	for i := 0; i < g.PagesPerBlock; i++ {
+		p := base + nand.PPN(i)
+		if b.Fl.State(p) == nand.PageValid {
+			pages = append(pages, vp{p, b.Fl.PageOOB(p)})
+		}
+	}
+	if b.SortRelocate {
+		sort.Slice(pages, func(i, j int) bool { return pages[i].oob.Key < pages[j].oob.Key })
+	}
+
+	// Relocation overlaps across chips, as FEMU's GC does: every page's
+	// read issues against the collection start time (per-chip queueing
+	// serializes same-chip reads), and its program depends only on its own
+	// read. The collection ends when the slowest chain finishes.
+	victimChip := b.Codec.Chip(base)
+	var moved []int64
+	for _, p := range pages {
+		readDone := b.Fl.Read(p.ppn, now, nand.OpGC)
+		var np nand.PPN
+		var ok bool
+		if b.SortRelocate {
+			np, ok = b.BM.AllocPage(p.oob.Trans)
+		} else {
+			np, ok = b.BM.AllocPageOnChip(victimChip, p.oob.Trans)
+		}
+		if !ok {
+			panic(fmt.Sprintf("ftl: GC relocation allocation failed (free=%d victim=%d valid=%d trans=%v)",
+				b.BM.FreeBlocks(), victim, len(pages), p.oob.Trans))
+		}
+		if done := b.mustProgram(np, p.oob, readDone, nand.OpGC); done > t {
+			t = done
+		}
+		if err := b.Fl.Invalidate(p.ppn); err != nil {
+			panic(fmt.Sprintf("ftl: %v", err))
+		}
+		if p.oob.Trans {
+			b.GTD.Update(int(p.oob.Key), np)
+		} else {
+			lpn := p.oob.Key
+			old := p.ppn
+			b.L2P[lpn] = np
+			moved = append(moved, lpn)
+			b.Hooks.DataRelocated(lpn, old, np)
+		}
+	}
+	eraseDone, err := b.Fl.Erase(victim, t)
+	if err != nil {
+		panic(fmt.Sprintf("ftl: %v", err))
+	}
+	t = eraseDone
+	b.BM.Release(victim)
+	t = b.Hooks.GCFinalize(moved, t)
+	b.Col.RecordGC(now, len(pages), t-now)
+	return t, true
+}

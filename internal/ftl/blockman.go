@@ -1,0 +1,166 @@
+package ftl
+
+import "learnedftl/internal/nand"
+
+// BlockMan implements the dynamic allocation strategy used by DFTL, TPFTL,
+// LeaFTL and the ideal FTL (and by every scheme for translation pages): each
+// chip has an active block per stream; new pages go to the least-busy chip,
+// maximizing write parallelism (paper §III-D: "dynamic allocation will
+// select the least busy flash chip").
+type BlockMan struct {
+	f     *nand.Flash
+	codec nand.AddrCodec
+
+	free        [][]int // per chip, stack of free block ids
+	activeData  []int   // per chip, current data block (-1 = none)
+	activeTrans []int   // per chip, current translation block (-1 = none)
+	freeCount   int
+
+	// scanOrder enumerates chips channel-first (the paper's Fig. 11
+	// allocation order), so equal-busy ties fall to the chip whose next
+	// page has the smallest VPPN and striped writes get contiguous VPPNs.
+	scanOrder []int
+}
+
+// NewBlockMan returns a manager over an erased flash array: every block
+// starts free.
+func NewBlockMan(f *nand.Flash) *BlockMan {
+	g := f.Geometry()
+	chips := g.Chips()
+	b := &BlockMan{
+		f:           f,
+		codec:       f.Codec(),
+		free:        make([][]int, chips),
+		activeData:  make([]int, chips),
+		activeTrans: make([]int, chips),
+	}
+	for w := 0; w < g.Ways; w++ {
+		for ch := 0; ch < g.Channels; ch++ {
+			b.scanOrder = append(b.scanOrder, ch*g.Ways+w)
+		}
+	}
+	blocksPerChip := g.Planes * g.BlocksPerUnit
+	for chip := 0; chip < chips; chip++ {
+		b.activeData[chip] = -1
+		b.activeTrans[chip] = -1
+		// Push in reverse so low block ids pop first (determinism).
+		for i := blocksPerChip - 1; i >= 0; i-- {
+			b.free[chip] = append(b.free[chip], chip*blocksPerChip+i)
+		}
+		b.freeCount += blocksPerChip
+	}
+	return b
+}
+
+// FreeBlocks returns the device-wide count of free (fully erased, inactive)
+// blocks.
+func (b *BlockMan) FreeBlocks() int { return b.freeCount }
+
+// FreeBlocksOnChip returns the free-block count of one chip.
+func (b *BlockMan) FreeBlocksOnChip(chip int) int { return len(b.free[chip]) }
+
+// active returns the active-block slice for the stream.
+func (b *BlockMan) active(trans bool) []int {
+	if trans {
+		return b.activeTrans
+	}
+	return b.activeData
+}
+
+// chipHasSpace reports whether a chip can absorb one more page for a stream.
+func (b *BlockMan) chipHasSpace(chip int, trans bool) bool {
+	act := b.active(trans)[chip]
+	if act >= 0 && b.f.BlockFreePages(act) > 0 {
+		return true
+	}
+	return len(b.free[chip]) > 0
+}
+
+// AllocPage reserves the next programmable page for the given stream on the
+// least-busy chip, opening a fresh block when the active one is full.
+// The caller must Program the returned PPN before the next AllocPage on the
+// same chip (NAND in-order constraint). ok is false when no chip has space —
+// the caller must garbage-collect first.
+func (b *BlockMan) AllocPage(trans bool) (nand.PPN, bool) {
+	best := -1
+	var bestBusy nand.Time
+	for _, chip := range b.scanOrder {
+		if !b.chipHasSpace(chip, trans) {
+			continue
+		}
+		busy := b.f.ChipBusyUntil(chip)
+		if best == -1 || busy < bestBusy {
+			best, bestBusy = chip, busy
+		}
+	}
+	if best == -1 {
+		return nand.InvalidPPN, false
+	}
+	return b.allocOn(best, trans)
+}
+
+// AllocPageOnChip reserves the next page for a stream on a specific chip
+// (GC relocation keeps pages on the victim's chip when possible to bound
+// interference). Falls back to AllocPage when the chip is out of space.
+func (b *BlockMan) AllocPageOnChip(chip int, trans bool) (nand.PPN, bool) {
+	if !b.chipHasSpace(chip, trans) {
+		return b.AllocPage(trans)
+	}
+	return b.allocOn(chip, trans)
+}
+
+func (b *BlockMan) allocOn(chip int, trans bool) (nand.PPN, bool) {
+	act := b.active(trans)
+	blk := act[chip]
+	if blk < 0 || b.f.BlockFreePages(blk) == 0 {
+		n := len(b.free[chip])
+		if n == 0 {
+			return nand.InvalidPPN, false
+		}
+		blk = b.free[chip][n-1]
+		b.free[chip] = b.free[chip][:n-1]
+		b.freeCount--
+		act[chip] = blk
+	}
+	pg := b.f.BlockWritePtr(blk)
+	base := b.codec.Encode(b.codec.BlockAddr(blk))
+	return base + nand.PPN(pg), true
+}
+
+// Release returns an erased block to the free pool.
+func (b *BlockMan) Release(blockID int) {
+	chip := b.codec.Chip(b.codec.Encode(b.codec.BlockAddr(blockID)))
+	b.free[chip] = append(b.free[chip], blockID)
+	b.freeCount++
+}
+
+// IsActive reports whether blockID is currently an active write block of
+// either stream (active blocks are not GC victims).
+func (b *BlockMan) IsActive(blockID int) bool {
+	chip := b.codec.Chip(b.codec.Encode(b.codec.BlockAddr(blockID)))
+	return b.activeData[chip] == blockID || b.activeTrans[chip] == blockID
+}
+
+// VictimBlock picks the greedy GC victim: the non-active, non-free block
+// with the fewest valid pages. Returns -1 when no candidate would reclaim
+// anything (collecting an all-valid block costs a block's worth of
+// relocation for zero gain and can livelock the GC loop).
+func (b *BlockMan) VictimBlock() int {
+	g := b.f.Geometry()
+	victim := -1
+	bestValid := g.PagesPerBlock + 1
+	for blk := 0; blk < g.TotalBlocks(); blk++ {
+		wp := b.f.BlockWritePtr(blk)
+		if wp == 0 || b.IsActive(blk) {
+			continue
+		}
+		v := b.f.BlockValid(blk)
+		if v >= wp {
+			continue // nothing invalid to reclaim
+		}
+		if v < bestValid {
+			victim, bestValid = blk, v
+		}
+	}
+	return victim
+}

@@ -1,0 +1,154 @@
+// Package ftl defines the FTL interface all five reproduced schemes
+// implement, the shared device plumbing (logical-to-physical shadow state,
+// block management with dynamic allocation, translation-page maintenance,
+// greedy garbage collection), and the ideal page-level FTL used as the
+// paper's upper bound.
+package ftl
+
+import (
+	"fmt"
+
+	"learnedftl/internal/nand"
+	"learnedftl/internal/stats"
+)
+
+// Config carries every tunable of a simulated device + FTL pair. The zero
+// value is not usable; start from DefaultConfig.
+type Config struct {
+	Geometry nand.Geometry
+	Timing   nand.Timing
+	Energy   nand.Energy
+
+	// OPRatio is the over-provisioned fraction of physical capacity. The
+	// paper's device exposes 32GB logical over 34GB physical (~6%).
+	OPRatio float64
+
+	// CMTRatio sizes the cached mapping table as a fraction of the total
+	// number of logical page mappings. The paper uses 3% for DFTL/TPFTL
+	// and LeaFTL's model cache, and 1.5% for LearnedFTL (§IV-A), because
+	// LearnedFTL's in-place models consume the other half of the budget.
+	CMTRatio float64
+
+	// EntriesPerTP is the number of mappings per translation page
+	// (4KB page / 8B entry = 512 in the paper). Tests shrink it so tiny
+	// geometries still exercise multi-translation-page behavior.
+	EntriesPerTP int
+
+	// GroupEntries is the number of consecutive GTD entries per GTD entry
+	// group for LearnedFTL's group-based allocation (paper: 64).
+	GroupEntries int
+
+	// MaxPieces bounds the in-place-update model's parameter array
+	// (paper default: 8).
+	MaxPieces int
+
+	// LeaGamma is LeaFTL's learned-segment error bound.
+	LeaGamma int64
+
+	// LeaBufferPages is LeaFTL's data buffer capacity (paper: 2048 pages).
+	LeaBufferPages int
+
+	// GCLowWater triggers garbage collection when the count of free blocks
+	// drops to this value.
+	GCLowWater int
+
+	// GroupSuperblocks is the number of superblocks a GTD entry group may
+	// accumulate before group GC triggers (LearnedFTL).
+	GroupSuperblocks int
+}
+
+// DefaultConfig returns the paper's configuration at the given geometry.
+func DefaultConfig(g nand.Geometry) Config {
+	return Config{
+		Geometry:       g,
+		Timing:         nand.DefaultTiming(),
+		Energy:         nand.DefaultEnergy(),
+		OPRatio:        0.08,
+		CMTRatio:       0.03,
+		EntriesPerTP:   g.PageSize / 8,
+		GroupEntries:   64,
+		MaxPieces:      8,
+		LeaGamma:       4,
+		LeaBufferPages: 2048,
+		// GC must start while every chip can still open a fresh active
+		// block for both the data and translation streams; anything
+		// smaller can wedge a 64-chip device mid-collection.
+		GCLowWater:       max(4, 2*g.Chips()),
+		GroupSuperblocks: 3,
+	}
+}
+
+// LogicalPages returns the number of LPNs the device exposes: physical
+// capacity minus over-provisioning, rounded down to a whole GTD entry group
+// (hence also a whole translation page) so every scheme — including the
+// group-based allocator — sees the identical logical space.
+func (c Config) LogicalPages() int64 {
+	span := int64(c.GroupEntries) * int64(c.EntriesPerTP)
+	lp := int64(float64(c.Geometry.TotalPages()) * (1 - c.OPRatio))
+	lp -= lp % span
+	if lp < span {
+		lp = span
+	}
+	return lp
+}
+
+// NumTPNs returns the number of translation pages covering the logical
+// space.
+func (c Config) NumTPNs() int {
+	return int(c.LogicalPages() / int64(c.EntriesPerTP))
+}
+
+// TPNOf returns the translation page covering lpn.
+func (c Config) TPNOf(lpn int64) int { return int(lpn / int64(c.EntriesPerTP)) }
+
+// TPRange returns the [lo, hi) LPN range of translation page tpn.
+func (c Config) TPRange(tpn int) (lo, hi int64) {
+	lo = int64(tpn) * int64(c.EntriesPerTP)
+	return lo, lo + int64(c.EntriesPerTP)
+}
+
+// CMTEntries returns the mapping-cache capacity in entries for ratio r.
+func (c Config) CMTEntriesFor(r float64) int {
+	n := int(float64(c.LogicalPages()) * r)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// CMTEntries returns the configured mapping-cache capacity in entries.
+func (c Config) CMTEntries() int { return c.CMTEntriesFor(c.CMTRatio) }
+
+// Validate sanity-checks the configuration.
+func (c Config) Validate() error {
+	if err := c.Geometry.Validate(); err != nil {
+		return err
+	}
+	if c.OPRatio <= 0 || c.OPRatio >= 0.5 {
+		return fmt.Errorf("ftl: OPRatio %v out of (0, 0.5)", c.OPRatio)
+	}
+	if c.EntriesPerTP <= 0 || c.GroupEntries <= 0 {
+		return fmt.Errorf("ftl: EntriesPerTP/GroupEntries must be positive")
+	}
+	if c.GCLowWater < 2 {
+		return fmt.Errorf("ftl: GCLowWater must be >= 2")
+	}
+	return nil
+}
+
+// FTL is the behavior every reproduced scheme implements. Page-granular
+// host requests enter at a virtual time and return their completion time;
+// the engine derives latency and throughput from the difference.
+type FTL interface {
+	Name() string
+	// ReadPages serves a host read of n consecutive pages starting at lpn.
+	ReadPages(lpn int64, n int, now nand.Time) nand.Time
+	// WritePages serves a host write of n consecutive pages starting at lpn.
+	WritePages(lpn int64, n int, now nand.Time) nand.Time
+	// Collector exposes the metrics sink.
+	Collector() *stats.Collector
+	// Flash exposes the underlying flash array.
+	Flash() *nand.Flash
+	// Config exposes the device configuration.
+	Config() Config
+}

@@ -1,0 +1,255 @@
+// Package leaftl implements LeaFTL (Sun et al., ASPLOS'23), the purely
+// learned-index FTL the paper compares against. Writes collect in a DRAM
+// data buffer; when full, the buffer is sorted by LPN and flushed to flash,
+// and greedy error-bounded learned segments are trained over the resulting
+// LPN→VPPN mapping and stored in log-structured form inside translation
+// pages. Reads predict through segments: a model-cache hit with an accurate
+// prediction is one flash read, a misprediction adds a wrong-page read (with
+// the OOB error interval) plus the corrected read — the double and triple
+// reads of the paper's Fig. 5/6.
+package leaftl
+
+import (
+	"sort"
+
+	"learnedftl/internal/ftl"
+	"learnedftl/internal/learned"
+	"learnedftl/internal/nand"
+	"learnedftl/internal/stats"
+)
+
+// maxSegmentLen is LeaFTL's cap on mappings per segment ("one learned
+// segment can index up to 256 mappings").
+const maxSegmentLen = 256
+
+// LeaFTL is the learned-index baseline.
+type LeaFTL struct {
+	*ftl.Base
+
+	// buffer is the DRAM data buffer: LPNs with unflushed host data.
+	buffer map[int64]struct{}
+
+	// models holds every trained segment per translation page; this is
+	// the flash-resident truth. The model cache tracks which of these are
+	// in DRAM.
+	models map[int]*learned.LSMT
+
+	cache *modelCache
+}
+
+// New builds a LeaFTL device.
+func New(cfg ftl.Config) (*LeaFTL, error) {
+	b, err := ftl.NewBase(cfg)
+	if err != nil {
+		return nil, err
+	}
+	l := &LeaFTL{
+		Base:   b,
+		buffer: make(map[int64]struct{}),
+		models: make(map[int]*learned.LSMT),
+		cache:  newModelCache(cfg.CMTEntries() * 8), // same bytes as a CMT
+	}
+	b.Hooks = l
+	b.SortRelocate = true // GC relocates in LPN order for trainability
+	return l, nil
+}
+
+// Name implements ftl.FTL.
+func (l *LeaFTL) Name() string { return "LeaFTL" }
+
+// BufferedPages returns the current data-buffer occupancy (tests).
+func (l *LeaFTL) BufferedPages() int { return len(l.buffer) }
+
+// SegmentsTotal returns the total live segments across all translation
+// pages (tests; space-overhead accounting).
+func (l *LeaFTL) SegmentsTotal() int {
+	n := 0
+	for _, t := range l.models {
+		n += t.NumSegments()
+	}
+	return n
+}
+
+// WritePages implements ftl.FTL: writes land in the data buffer; a full
+// buffer triggers the sorted flush + segment training on the critical path
+// of the triggering request (the paper's Challenge #3).
+func (l *LeaFTL) WritePages(lpn int64, n int, now nand.Time) nand.Time {
+	end := now
+	for k := 0; k < n; k++ {
+		l.buffer[lpn+int64(k)] = struct{}{}
+	}
+	if len(l.buffer) >= l.Cfg.LeaBufferPages {
+		if done := l.flush(now); done > end {
+			end = done
+		}
+	}
+	return end
+}
+
+// flush writes the buffered pages to flash in LPN order, trains segments per
+// translation page, and persists them into translation pages.
+func (l *LeaFTL) flush(now nand.Time) nand.Time {
+	if len(l.buffer) == 0 {
+		return now
+	}
+	lpns := make([]int64, 0, len(l.buffer))
+	for lpn := range l.buffer {
+		lpns = append(lpns, lpn)
+	}
+	sort.Slice(lpns, func(i, j int) bool { return lpns[i] < lpns[j] })
+	l.buffer = make(map[int64]struct{})
+
+	// Program sorted pages across chips; collect the training points.
+	end := now
+	pts := make(map[int][]learned.Point)
+	for _, lpn := range lpns {
+		ppn, done := l.HostProgram(lpn, now)
+		if done > end {
+			end = done
+		}
+		tpn := l.Cfg.TPNOf(lpn)
+		pts[tpn] = append(pts[tpn], learned.Point{
+			X: lpn,
+			Y: int64(l.Codec.ToVirtual(ppn)),
+		})
+	}
+	// Train per affected translation page and persist the segments.
+	tpns := make([]int, 0, len(pts))
+	for tpn := range pts {
+		tpns = append(tpns, tpn)
+	}
+	sort.Ints(tpns)
+	t := end
+	for _, tpn := range tpns {
+		segs := learned.FitSegments(pts[tpn], l.Cfg.LeaGamma, maxSegmentLen)
+		lt := l.lsmt(tpn)
+		lt.Insert(segs)
+		l.Col.ModelTrainings++
+		l.cache.Insert(tpn, lt.SizeBytes()) // fresh models are hot
+		t = l.UpdateTrans(tpn, true, t)     // append segments: RMW
+	}
+	return t
+}
+
+func (l *LeaFTL) lsmt(tpn int) *learned.LSMT {
+	lt, ok := l.models[tpn]
+	if !ok {
+		lt = learned.NewLSMT()
+		l.models[tpn] = lt
+	}
+	return lt
+}
+
+// ReadPages implements ftl.FTL.
+func (l *LeaFTL) ReadPages(lpn int64, n int, now nand.Time) nand.Time {
+	end := now
+	for k := 0; k < n; k++ {
+		if done := l.readOne(lpn+int64(k), now); done > end {
+			end = done
+		}
+	}
+	return end
+}
+
+func (l *LeaFTL) readOne(lpn int64, now nand.Time) nand.Time {
+	l.Col.CMTLookups++
+	if _, ok := l.buffer[lpn]; ok {
+		// Served straight from the DRAM data buffer.
+		l.Col.CMTHits++
+		l.Col.RecordClass(stats.ReadSingle)
+		return now
+	}
+	if !l.Mapped(lpn) {
+		l.Col.RecordClass(stats.ReadSingle)
+		return now
+	}
+	tpn := l.Cfg.TPNOf(lpn)
+	inCache := l.cache.Contains(tpn)
+	t := now
+	if !inCache {
+		// Translation read to fetch the model from flash (Fig. 5 step ②).
+		t = l.ReadTrans(tpn, t)
+		lt := l.lsmt(tpn)
+		l.cache.Insert(tpn, lt.SizeBytes())
+	} else {
+		l.Col.CMTHits++
+	}
+	truth := l.L2P[lpn]
+	pred := l.predict(tpn, lpn)
+	if pred == truth {
+		if inCache {
+			// Cache hit + accurate prediction: the single-read fast path.
+			l.Col.ModelHits++
+			l.Col.RecordClass(stats.ReadSingle)
+		} else {
+			l.Col.RecordClass(stats.ReadDouble)
+		}
+		return l.Fl.Read(truth, t, nand.OpHostData)
+	}
+	// Misprediction: read the wrong page (its OOB carries the error
+	// interval), then the corrected page — two extra serialized reads.
+	t = l.Fl.Read(pred, t, nand.OpHostData)
+	if inCache {
+		l.Col.RecordClass(stats.ReadDouble)
+	} else {
+		l.Col.RecordClass(stats.ReadTriple)
+	}
+	return l.Fl.Read(truth, t, nand.OpHostData)
+}
+
+// predict runs the learned lookup for lpn, returning a physical page to
+// probe. Failed lookups or out-of-range predictions probe a clamped page and
+// take the misprediction path naturally.
+func (l *LeaFTL) predict(tpn int, lpn int64) nand.PPN {
+	lt, ok := l.models[tpn]
+	if !ok {
+		return 0
+	}
+	seg, ok := lt.Lookup(lpn)
+	if !ok {
+		return 0
+	}
+	v := seg.Predict(lpn)
+	total := int64(l.Cfg.Geometry.TotalPages())
+	if v < 0 {
+		v = 0
+	}
+	if v >= total {
+		v = total - 1
+	}
+	return l.Codec.ToPhysical(nand.VPPN(v))
+}
+
+// DataRelocated implements ftl.RelocHooks.
+func (l *LeaFTL) DataRelocated(int64, nand.PPN, nand.PPN) {}
+
+// GCFinalize implements ftl.RelocHooks: GC moved pages in sorted LPN order,
+// so retrain segments over their new locations and persist them.
+func (l *LeaFTL) GCFinalize(moved []int64, t nand.Time) nand.Time {
+	if len(moved) == 0 {
+		return t
+	}
+	pts := make(map[int][]learned.Point)
+	for _, lpn := range moved { // already sorted by Base.SortRelocate
+		tpn := l.Cfg.TPNOf(lpn)
+		pts[tpn] = append(pts[tpn], learned.Point{
+			X: lpn,
+			Y: int64(l.Codec.ToVirtual(l.L2P[lpn])),
+		})
+	}
+	tpns := make([]int, 0, len(pts))
+	for tpn := range pts {
+		tpns = append(tpns, tpn)
+	}
+	sort.Ints(tpns)
+	for _, tpn := range tpns {
+		segs := learned.FitSegments(pts[tpn], l.Cfg.LeaGamma, maxSegmentLen)
+		lt := l.lsmt(tpn)
+		lt.Insert(segs)
+		lt.CompactShadowed()
+		l.Col.ModelTrainings++
+		l.cache.Resize(tpn, lt.SizeBytes())
+		t = l.UpdateTrans(tpn, true, t)
+	}
+	return t
+}

@@ -1,0 +1,74 @@
+package leaftl
+
+import "container/list"
+
+// modelCache is LeaFTL's DRAM model cache: an LRU over translation-page
+// numbers whose byte budget equals the CMT budget of DFTL/TPFTL (paper
+// §IV-A, "we set the capacity of LeaFTL's model cache to have the same space
+// overhead as the CMT"). Evicted models are clean (segments are persisted to
+// flash at flush time), so eviction is free; a miss costs one translation
+// read to load the segments back.
+type modelCache struct {
+	budget int
+	used   int
+	ll     *list.List // front = MRU; values are *mcEntry
+	idx    map[int]*list.Element
+}
+
+type mcEntry struct {
+	tpn  int
+	size int
+}
+
+func newModelCache(budgetBytes int) *modelCache {
+	return &modelCache{
+		budget: budgetBytes,
+		ll:     list.New(),
+		idx:    make(map[int]*list.Element),
+	}
+}
+
+// Contains promotes and reports presence.
+func (c *modelCache) Contains(tpn int) bool {
+	el, ok := c.idx[tpn]
+	if ok {
+		c.ll.MoveToFront(el)
+	}
+	return ok
+}
+
+// Insert adds or resizes the model for tpn and evicts LRU models until the
+// budget holds.
+func (c *modelCache) Insert(tpn, size int) {
+	if el, ok := c.idx[tpn]; ok {
+		e := el.Value.(*mcEntry)
+		c.used += size - e.size
+		e.size = size
+		c.ll.MoveToFront(el)
+	} else {
+		c.idx[tpn] = c.ll.PushFront(&mcEntry{tpn: tpn, size: size})
+		c.used += size
+	}
+	for c.used > c.budget && c.ll.Len() > 1 {
+		back := c.ll.Back()
+		e := back.Value.(*mcEntry)
+		c.used -= e.size
+		delete(c.idx, e.tpn)
+		c.ll.Remove(back)
+	}
+}
+
+// Resize updates the stored size of tpn if cached (model grew at flush).
+func (c *modelCache) Resize(tpn, size int) {
+	if el, ok := c.idx[tpn]; ok {
+		e := el.Value.(*mcEntry)
+		c.used += size - e.size
+		e.size = size
+	}
+}
+
+// Len returns the number of cached models.
+func (c *modelCache) Len() int { return c.ll.Len() }
+
+// Used returns the bytes currently charged.
+func (c *modelCache) Used() int { return c.used }

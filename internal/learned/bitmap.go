@@ -1,0 +1,77 @@
+// Package learned implements the learned-index machinery of LearnedFTL and
+// LeaFTL: a greedy piecewise linear regression (PLR) fitter, the
+// in-place-update linear model with its bitmap filter (paper §III-B), and
+// LeaFTL's learned segments organized in a log-structured mapping table
+// (LSMT).
+package learned
+
+import "math/bits"
+
+// Bitmap is the bitmap filter attached to each in-place-update linear model
+// (paper Fig. 8). Bit i states whether the model's prediction for LPN offset
+// i is exact (1) or must fall back to the demand-paging double-read path (0).
+type Bitmap struct {
+	words []uint64
+	n     int
+}
+
+// NewBitmap returns an all-zero bitmap of n bits.
+func NewBitmap(n int) *Bitmap {
+	return &Bitmap{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the number of bits.
+func (b *Bitmap) Len() int { return b.n }
+
+// Set sets bit i to 1.
+func (b *Bitmap) Set(i int) { b.words[i>>6] |= 1 << (uint(i) & 63) }
+
+// Clear sets bit i to 0.
+func (b *Bitmap) Clear(i int) { b.words[i>>6] &^= 1 << (uint(i) & 63) }
+
+// Get reports bit i.
+func (b *Bitmap) Get(i int) bool { return b.words[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// Count returns the number of set bits.
+func (b *Bitmap) Count() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// CountRange returns the number of set bits in [lo, hi).
+func (b *Bitmap) CountRange(lo, hi int) int {
+	c := 0
+	for i := lo; i < hi; i++ {
+		if b.Get(i) {
+			c++
+		}
+	}
+	return c
+}
+
+// ClearRange zeroes bits [lo, hi).
+func (b *Bitmap) ClearRange(lo, hi int) {
+	for i := lo; i < hi; i++ {
+		b.Clear(i)
+	}
+}
+
+// SetRange sets bits [lo, hi).
+func (b *Bitmap) SetRange(lo, hi int) {
+	for i := lo; i < hi; i++ {
+		b.Set(i)
+	}
+}
+
+// Reset zeroes the whole bitmap.
+func (b *Bitmap) Reset() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// SizeBytes returns the memory footprint of the bitmap payload.
+func (b *Bitmap) SizeBytes() int { return len(b.words) * 8 }

@@ -1,0 +1,118 @@
+package learned
+
+import "sort"
+
+// LSMT is LeaFTL's log-structured mapping table (§II-C): learned segments
+// organized in levels. New segments enter level 0; existing segments they
+// overlap are pushed down one level so a top-down lookup always sees the
+// newest segment covering an LPN first.
+type LSMT struct {
+	levels [][]Segment // each level sorted by S, non-overlapping
+	nseg   int
+}
+
+// NewLSMT returns an empty log-structured mapping table.
+func NewLSMT() *LSMT { return &LSMT{} }
+
+// NumSegments returns the total number of live segments.
+func (t *LSMT) NumSegments() int { return t.nseg }
+
+// NumLevels returns the current number of levels.
+func (t *LSMT) NumLevels() int { return len(t.levels) }
+
+// SizeBytes returns the memory footprint charged for the table.
+func (t *LSMT) SizeBytes() int { return t.nseg * SegmentBytes }
+
+// Insert adds newly trained segments. Each enters level 0; overlapped older
+// segments migrate down (the paper's "if one layer has overlapped segment,
+// LeaFTL will migrate the old segment to the next layer").
+func (t *LSMT) Insert(segs []Segment) {
+	for _, s := range segs {
+		t.insertAt(0, s)
+	}
+}
+
+func (t *LSMT) insertAt(level int, seg Segment) {
+	if level == len(t.levels) {
+		t.levels = append(t.levels, nil)
+	}
+	lv := t.levels[level]
+	lo := seg.S
+	hi := seg.S + int64(seg.L)
+	// Find overlapping run [i, j).
+	i := sort.Search(len(lv), func(k int) bool { return lv[k].S+int64(lv[k].L) > lo })
+	j := i
+	for j < len(lv) && lv[j].S < hi {
+		j++
+	}
+	evicted := make([]Segment, j-i)
+	copy(evicted, lv[i:j])
+	// Splice seg in place of the evicted run.
+	nlv := make([]Segment, 0, len(lv)-(j-i)+1)
+	nlv = append(nlv, lv[:i]...)
+	nlv = append(nlv, seg)
+	nlv = append(nlv, lv[j:]...)
+	t.levels[level] = nlv
+	t.nseg++
+	for _, ev := range evicted {
+		t.nseg--
+		t.insertAt(level+1, ev)
+	}
+}
+
+// Lookup returns the newest segment covering lpn, scanning levels top-down.
+func (t *LSMT) Lookup(lpn int64) (Segment, bool) {
+	for _, lv := range t.levels {
+		i := sort.Search(len(lv), func(k int) bool { return lv[k].S+int64(lv[k].L) > lpn })
+		if i < len(lv) && lv[i].Contains(lpn) {
+			return lv[i], true
+		}
+	}
+	return Segment{}, false
+}
+
+// CompactShadowed drops lower-level segments whose whole key range is
+// covered by segments in upper levels (they can never win a lookup). This is
+// the space-reclamation role of LeaFTL's compaction; returns the number of
+// segments dropped.
+func (t *LSMT) CompactShadowed() int {
+	dropped := 0
+	for li := 1; li < len(t.levels); li++ {
+		var keep []Segment
+		for _, s := range t.levels[li] {
+			if t.shadowed(s, li) {
+				dropped++
+				t.nseg--
+			} else {
+				keep = append(keep, s)
+			}
+		}
+		t.levels[li] = keep
+	}
+	// Trim empty tail levels.
+	for len(t.levels) > 0 && len(t.levels[len(t.levels)-1]) == 0 {
+		t.levels = t.levels[:len(t.levels)-1]
+	}
+	return dropped
+}
+
+// shadowed reports whether every LPN of s is covered by levels above `below`.
+func (t *LSMT) shadowed(s Segment, below int) bool {
+	lo := s.S
+	hi := s.S + int64(s.L)
+	for lpn := lo; lpn < hi; lpn++ {
+		covered := false
+		for li := 0; li < below; li++ {
+			lv := t.levels[li]
+			i := sort.Search(len(lv), func(k int) bool { return lv[k].S+int64(lv[k].L) > lpn })
+			if i < len(lv) && lv[i].Contains(lpn) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,134 @@
+package learned
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func seg(s, l int64) Segment {
+	return Segment{S: s, L: int32(l), K: 1, I: float64(s * 10)}
+}
+
+func TestLSMTInsertAndLookup(t *testing.T) {
+	lt := NewLSMT()
+	lt.Insert([]Segment{seg(0, 10), seg(20, 10)})
+	if lt.NumSegments() != 2 || lt.NumLevels() != 1 {
+		t.Fatalf("segments=%d levels=%d", lt.NumSegments(), lt.NumLevels())
+	}
+	if s, ok := lt.Lookup(5); !ok || s.S != 0 {
+		t.Fatalf("Lookup(5) = %+v,%v", s, ok)
+	}
+	if s, ok := lt.Lookup(25); !ok || s.S != 20 {
+		t.Fatalf("Lookup(25) = %+v,%v", s, ok)
+	}
+	if _, ok := lt.Lookup(15); ok {
+		t.Fatal("Lookup(15) found in gap")
+	}
+}
+
+func TestLSMTNewerWins(t *testing.T) {
+	lt := NewLSMT()
+	old := Segment{S: 0, L: 100, K: 1, I: 0}
+	lt.Insert([]Segment{old})
+	newer := Segment{S: 40, L: 20, K: 1, I: 9999}
+	lt.Insert([]Segment{newer})
+	if lt.NumLevels() != 2 {
+		t.Fatalf("levels = %d, want 2", lt.NumLevels())
+	}
+	if s, _ := lt.Lookup(50); s.I != 9999 {
+		t.Fatalf("Lookup(50) returned old segment %+v", s)
+	}
+	// LPNs outside the new range still resolve to the old one, pushed down.
+	if s, ok := lt.Lookup(10); !ok || s.I != 0 {
+		t.Fatalf("Lookup(10) = %+v,%v", s, ok)
+	}
+}
+
+func TestLSMTCascadingPushdown(t *testing.T) {
+	lt := NewLSMT()
+	lt.Insert([]Segment{{S: 0, L: 10, K: 1, I: 1}})
+	lt.Insert([]Segment{{S: 0, L: 10, K: 1, I: 2}})
+	lt.Insert([]Segment{{S: 0, L: 10, K: 1, I: 3}})
+	if lt.NumLevels() != 3 || lt.NumSegments() != 3 {
+		t.Fatalf("levels=%d segs=%d", lt.NumLevels(), lt.NumSegments())
+	}
+	if s, _ := lt.Lookup(5); s.I != 3 {
+		t.Fatalf("newest insert does not win: %+v", s)
+	}
+}
+
+func TestLSMTCompactShadowed(t *testing.T) {
+	lt := NewLSMT()
+	lt.Insert([]Segment{{S: 0, L: 10, K: 1, I: 1}})
+	lt.Insert([]Segment{{S: 0, L: 10, K: 1, I: 2}}) // fully shadows the first
+	if lt.NumSegments() != 2 {
+		t.Fatal("setup wrong")
+	}
+	dropped := lt.CompactShadowed()
+	if dropped != 1 || lt.NumSegments() != 1 || lt.NumLevels() != 1 {
+		t.Fatalf("dropped=%d segs=%d levels=%d", dropped, lt.NumSegments(), lt.NumLevels())
+	}
+	if s, _ := lt.Lookup(5); s.I != 2 {
+		t.Fatalf("survivor wrong: %+v", s)
+	}
+}
+
+func TestLSMTCompactKeepsPartiallyVisible(t *testing.T) {
+	lt := NewLSMT()
+	lt.Insert([]Segment{{S: 0, L: 20, K: 1, I: 1}})
+	lt.Insert([]Segment{{S: 0, L: 10, K: 1, I: 2}}) // shadows only half
+	if dropped := lt.CompactShadowed(); dropped != 0 {
+		t.Fatalf("dropped %d, want 0", dropped)
+	}
+	if s, _ := lt.Lookup(15); s.I != 1 {
+		t.Fatalf("partially visible segment lost: %+v", s)
+	}
+}
+
+func TestLSMTSizeBytes(t *testing.T) {
+	lt := NewLSMT()
+	lt.Insert([]Segment{seg(0, 10), seg(20, 10), seg(40, 10)})
+	if got := lt.SizeBytes(); got != 3*SegmentBytes {
+		t.Fatalf("SizeBytes = %d", got)
+	}
+}
+
+// Property: after inserting arbitrary batches, Lookup always returns the
+// segment from the most recent batch whose range covers the key.
+func TestLSMTRecencyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		lt := NewLSMT()
+		const keys = 200
+		newest := make([]float64, keys) // shadow: newest I covering each key
+		for i := range newest {
+			newest[i] = -1
+		}
+		for batch := 1; batch <= 20; batch++ {
+			s := int64(rng.Intn(keys - 1))
+			l := int64(1 + rng.Intn(keys-int(s)))
+			segm := Segment{S: s, L: int32(l), K: 0, I: float64(batch)}
+			lt.Insert([]Segment{segm})
+			for k := s; k < s+l; k++ {
+				newest[k] = float64(batch)
+			}
+		}
+		for k := 0; k < keys; k++ {
+			s, ok := lt.Lookup(int64(k))
+			if newest[k] < 0 {
+				if ok {
+					return false
+				}
+				continue
+			}
+			if !ok || s.I != newest[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,173 @@
+// Package mapping implements the DRAM-side address-translation structures
+// shared by the demand-based FTLs: the cached mapping table (CMT) with LRU
+// replacement and dirty tracking, and the global translation directory (GTD)
+// that locates translation pages in flash.
+package mapping
+
+import (
+	"container/list"
+
+	"learnedftl/internal/nand"
+)
+
+// Entry is one cached LPN→PPN mapping.
+type Entry struct {
+	LPN   int64
+	PPN   nand.PPN
+	Dirty bool
+}
+
+// CMT is the cached mapping table of DFTL (Gupta et al., ASPLOS'09): an LRU
+// cache over individual page mappings. TPFTL and LearnedFTL reuse it with
+// different capacities and write-back batching policies.
+type CMT struct {
+	cap   int
+	ll    *list.List // front = most recent
+	index map[int64]*list.Element
+	dirty int
+}
+
+// NewCMT returns a CMT holding at most capacity entries. A non-positive
+// capacity yields a cache that stores nothing (every lookup misses).
+func NewCMT(capacity int) *CMT {
+	return &CMT{
+		cap:   capacity,
+		ll:    list.New(),
+		index: make(map[int64]*list.Element),
+	}
+}
+
+// Cap returns the configured capacity in entries.
+func (c *CMT) Cap() int { return c.cap }
+
+// Len returns the number of cached entries.
+func (c *CMT) Len() int { return c.ll.Len() }
+
+// DirtyLen returns the number of dirty entries.
+func (c *CMT) DirtyLen() int { return c.dirty }
+
+// Lookup returns the cached mapping for lpn and promotes it to MRU.
+func (c *CMT) Lookup(lpn int64) (nand.PPN, bool) {
+	el, ok := c.index[lpn]
+	if !ok {
+		return nand.InvalidPPN, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*Entry).PPN, true
+}
+
+// Peek returns the cached mapping without touching recency.
+func (c *CMT) Peek(lpn int64) (Entry, bool) {
+	el, ok := c.index[lpn]
+	if !ok {
+		return Entry{}, false
+	}
+	e := *el.Value.(*Entry)
+	return e, true
+}
+
+// Contains reports whether lpn is cached, without touching recency.
+func (c *CMT) Contains(lpn int64) bool {
+	_, ok := c.index[lpn]
+	return ok
+}
+
+// Insert adds or updates a mapping as MRU. It does not evict; callers must
+// drain NeedsEviction/EvictLRU so they can perform the flash write-back that
+// eviction of a dirty entry requires.
+func (c *CMT) Insert(lpn int64, ppn nand.PPN, dirty bool) {
+	if c.cap <= 0 {
+		return
+	}
+	if el, ok := c.index[lpn]; ok {
+		e := el.Value.(*Entry)
+		if e.Dirty != dirty {
+			if dirty {
+				c.dirty++
+			} else {
+				c.dirty--
+			}
+		}
+		e.PPN = ppn
+		e.Dirty = dirty
+		c.ll.MoveToFront(el)
+		return
+	}
+	e := &Entry{LPN: lpn, PPN: ppn, Dirty: dirty}
+	c.index[lpn] = c.ll.PushFront(e)
+	if dirty {
+		c.dirty++
+	}
+}
+
+// NeedsEviction reports whether the cache is over capacity.
+func (c *CMT) NeedsEviction() bool { return c.ll.Len() > c.cap }
+
+// EvictLRU removes and returns the least recently used entry.
+func (c *CMT) EvictLRU() (Entry, bool) {
+	el := c.ll.Back()
+	if el == nil {
+		return Entry{}, false
+	}
+	e := *el.Value.(*Entry)
+	c.remove(el)
+	return e, true
+}
+
+// Remove drops lpn from the cache if present, returning the removed entry.
+func (c *CMT) Remove(lpn int64) (Entry, bool) {
+	el, ok := c.index[lpn]
+	if !ok {
+		return Entry{}, false
+	}
+	e := *el.Value.(*Entry)
+	c.remove(el)
+	return e, true
+}
+
+func (c *CMT) remove(el *list.Element) {
+	e := el.Value.(*Entry)
+	if e.Dirty {
+		c.dirty--
+	}
+	delete(c.index, e.LPN)
+	c.ll.Remove(el)
+}
+
+// MarkClean clears the dirty flag of lpn if cached.
+func (c *CMT) MarkClean(lpn int64) {
+	if el, ok := c.index[lpn]; ok {
+		e := el.Value.(*Entry)
+		if e.Dirty {
+			e.Dirty = false
+			c.dirty--
+		}
+	}
+}
+
+// DirtyInRange returns the dirty entries with LPN in [lo, hi), in no
+// particular order. TPFTL's batched write-back uses this to flush every
+// dirty mapping of a translation page in one read-modify-write.
+func (c *CMT) DirtyInRange(lo, hi int64) []Entry {
+	var out []Entry
+	for lpn := lo; lpn < hi; lpn++ {
+		if el, ok := c.index[lpn]; ok {
+			e := el.Value.(*Entry)
+			if e.Dirty {
+				out = append(out, *e)
+			}
+		}
+	}
+	return out
+}
+
+// UpdatePPN rewrites the PPN of a cached entry without recency or dirty
+// changes (GC relocation fix-up). Returns false if lpn is not cached.
+func (c *CMT) UpdatePPN(lpn int64, ppn nand.PPN) bool {
+	el, ok := c.index[lpn]
+	if !ok {
+		return false
+	}
+	el.Value.(*Entry).PPN = ppn
+	return true
+}

@@ -1,0 +1,222 @@
+package mapping
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"learnedftl/internal/nand"
+)
+
+func TestCMTLookupInsert(t *testing.T) {
+	c := NewCMT(4)
+	if _, ok := c.Lookup(1); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Insert(1, 100, false)
+	if p, ok := c.Lookup(1); !ok || p != 100 {
+		t.Fatalf("Lookup(1) = %d,%v", p, ok)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+}
+
+func TestCMTLRUOrder(t *testing.T) {
+	c := NewCMT(3)
+	c.Insert(1, 10, false)
+	c.Insert(2, 20, false)
+	c.Insert(3, 30, false)
+	c.Lookup(1) // promote 1; LRU is now 2
+	c.Insert(4, 40, false)
+	if !c.NeedsEviction() {
+		t.Fatal("over-capacity cache does not need eviction")
+	}
+	e, ok := c.EvictLRU()
+	if !ok || e.LPN != 2 {
+		t.Fatalf("evicted %+v, want LPN 2", e)
+	}
+	if c.NeedsEviction() {
+		t.Fatal("still needs eviction after evicting to capacity")
+	}
+}
+
+func TestCMTDirtyTracking(t *testing.T) {
+	c := NewCMT(4)
+	c.Insert(1, 10, true)
+	c.Insert(2, 20, false)
+	if c.DirtyLen() != 1 {
+		t.Fatalf("DirtyLen = %d", c.DirtyLen())
+	}
+	// Upgrading clean→dirty and downgrading via MarkClean.
+	c.Insert(2, 21, true)
+	if c.DirtyLen() != 2 {
+		t.Fatalf("DirtyLen = %d after upgrade", c.DirtyLen())
+	}
+	c.MarkClean(1)
+	if c.DirtyLen() != 1 {
+		t.Fatalf("DirtyLen = %d after MarkClean", c.DirtyLen())
+	}
+	if e, _ := c.Peek(1); e.Dirty {
+		t.Fatal("entry still dirty after MarkClean")
+	}
+	// Eviction of dirty entry decrements the counter.
+	c.Lookup(1)
+	if e, ok := c.EvictLRU(); !ok || e.LPN != 2 || !e.Dirty {
+		t.Fatalf("evicted %+v", e)
+	}
+	if c.DirtyLen() != 0 {
+		t.Fatalf("DirtyLen = %d after dirty eviction", c.DirtyLen())
+	}
+}
+
+func TestCMTInsertUpdatesInPlace(t *testing.T) {
+	c := NewCMT(2)
+	c.Insert(1, 10, false)
+	c.Insert(1, 11, true)
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d after re-insert", c.Len())
+	}
+	if p, _ := c.Lookup(1); p != 11 {
+		t.Fatalf("PPN = %d", p)
+	}
+}
+
+func TestCMTZeroCapacity(t *testing.T) {
+	c := NewCMT(0)
+	c.Insert(1, 10, false)
+	if c.Len() != 0 {
+		t.Fatal("zero-cap cache stored an entry")
+	}
+	if _, ok := c.Lookup(1); ok {
+		t.Fatal("zero-cap cache hit")
+	}
+}
+
+func TestCMTRemove(t *testing.T) {
+	c := NewCMT(4)
+	c.Insert(1, 10, true)
+	e, ok := c.Remove(1)
+	if !ok || e.PPN != 10 {
+		t.Fatalf("Remove = %+v,%v", e, ok)
+	}
+	if c.Len() != 0 || c.DirtyLen() != 0 {
+		t.Fatal("Remove left residue")
+	}
+	if _, ok := c.Remove(99); ok {
+		t.Fatal("Remove of absent lpn succeeded")
+	}
+}
+
+func TestCMTDirtyInRange(t *testing.T) {
+	c := NewCMT(10)
+	c.Insert(100, 1, true)
+	c.Insert(101, 2, false)
+	c.Insert(102, 3, true)
+	c.Insert(600, 4, true) // outside range
+	got := c.DirtyInRange(100, 512)
+	if len(got) != 2 {
+		t.Fatalf("DirtyInRange returned %d entries", len(got))
+	}
+}
+
+func TestCMTUpdatePPN(t *testing.T) {
+	c := NewCMT(4)
+	c.Insert(1, 10, true)
+	if !c.UpdatePPN(1, 99) {
+		t.Fatal("UpdatePPN failed")
+	}
+	e, _ := c.Peek(1)
+	if e.PPN != 99 || !e.Dirty {
+		t.Fatalf("entry after UpdatePPN: %+v", e)
+	}
+	if c.UpdatePPN(42, 1) {
+		t.Fatal("UpdatePPN of absent lpn succeeded")
+	}
+}
+
+// Property: Len never exceeds cap+1 between Insert and eviction drain, the
+// dirty counter always equals the number of dirty entries, and lookups
+// return the most recently inserted PPN.
+func TestCMTInvariantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		capn := 1 + rng.Intn(20)
+		c := NewCMT(capn)
+		shadow := map[int64]Entry{}
+		for op := 0; op < 300; op++ {
+			lpn := int64(rng.Intn(40))
+			switch rng.Intn(4) {
+			case 0, 1:
+				e := Entry{LPN: lpn, PPN: nand.PPN(rng.Intn(1000)), Dirty: rng.Intn(2) == 0}
+				c.Insert(lpn, e.PPN, e.Dirty)
+				shadow[lpn] = e
+				for c.NeedsEviction() {
+					ev, ok := c.EvictLRU()
+					if !ok {
+						return false
+					}
+					delete(shadow, ev.LPN)
+				}
+			case 2:
+				if p, ok := c.Lookup(lpn); ok {
+					if shadow[lpn].PPN != p {
+						return false
+					}
+				}
+			case 3:
+				c.Remove(lpn)
+				delete(shadow, lpn)
+			}
+			if c.Len() != len(shadow) || c.Len() > capn {
+				return false
+			}
+			dirty := 0
+			for _, e := range shadow {
+				if e.Dirty {
+					dirty++
+				}
+			}
+			if dirty != c.DirtyLen() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGTDBasics(t *testing.T) {
+	g := NewGTD(8)
+	if g.NumTPNs() != 8 {
+		t.Fatalf("NumTPNs = %d", g.NumTPNs())
+	}
+	if g.Written(3) {
+		t.Fatal("fresh GTD entry claims written")
+	}
+	if g.Lookup(3) != nand.InvalidPPN {
+		t.Fatal("fresh GTD entry has a location")
+	}
+	g.Update(3, 1234)
+	if !g.Written(3) || g.Lookup(3) != 1234 {
+		t.Fatal("Update/Lookup mismatch")
+	}
+}
+
+func TestTPNOfAndRangeOf(t *testing.T) {
+	if TPNOf(0) != 0 || TPNOf(511) != 0 || TPNOf(512) != 1 {
+		t.Fatal("TPNOf wrong")
+	}
+	lo, hi := RangeOf(2)
+	if lo != 1024 || hi != 1536 {
+		t.Fatalf("RangeOf(2) = %d,%d", lo, hi)
+	}
+	for _, lpn := range []int64{0, 511, 512, 100000} {
+		lo, hi := RangeOf(TPNOf(lpn))
+		if lpn < lo || lpn >= hi {
+			t.Fatalf("lpn %d outside RangeOf(TPNOf) = [%d,%d)", lpn, lo, hi)
+		}
+	}
+}

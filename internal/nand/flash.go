@@ -1,0 +1,216 @@
+package nand
+
+import "fmt"
+
+// PageState is the lifecycle state of a physical page.
+type PageState uint8
+
+const (
+	// PageFree means the page is erased and programmable.
+	PageFree PageState = iota
+	// PageValid means the page holds live data (or a live translation page).
+	PageValid
+	// PageInvalid means the page holds stale data awaiting erase.
+	PageInvalid
+)
+
+// String implements fmt.Stringer.
+func (s PageState) String() string {
+	switch s {
+	case PageFree:
+		return "free"
+	case PageValid:
+		return "valid"
+	case PageInvalid:
+		return "invalid"
+	default:
+		return "bad-state"
+	}
+}
+
+// OOB models the out-of-band (spare) area of a flash page. Real SSDs store
+// the reverse mapping there; LeaFTL additionally stores the error interval of
+// the learned segment covering the page. The simulator keeps only the fields
+// the reproduced FTLs consult.
+type OOB struct {
+	// Key is the LPN for data pages or the translation-page number (TPN)
+	// for translation pages.
+	Key int64
+	// Trans marks translation pages.
+	Trans bool
+}
+
+type blockMeta struct {
+	valid    int // pages in PageValid
+	writePtr int // next programmable page index (NAND in-order constraint)
+	erases   int64
+}
+
+// Flash is the flash array: page states, OOB metadata, per-chip operation
+// serialization and operation/energy accounting. It is not safe for
+// concurrent use; the simulation engine is single-threaded by design.
+type Flash struct {
+	geo    Geometry
+	codec  AddrCodec
+	timing Timing
+
+	state  []PageState
+	oob    []OOB
+	blocks []blockMeta
+
+	chipBusy []Time // per parallel unit, next idle time
+
+	counters OpCounters
+}
+
+// NewFlash builds an erased flash array for geometry g with timing t.
+func NewFlash(g Geometry, t Timing) (*Flash, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	f := &Flash{
+		geo:      g,
+		codec:    NewAddrCodec(g),
+		timing:   t,
+		state:    make([]PageState, g.TotalPages()),
+		oob:      make([]OOB, g.TotalPages()),
+		blocks:   make([]blockMeta, g.TotalBlocks()),
+		chipBusy: make([]Time, g.Chips()),
+	}
+	return f, nil
+}
+
+// MustNewFlash is NewFlash that panics on invalid geometry; for tests.
+func MustNewFlash(g Geometry, t Timing) *Flash {
+	f, err := NewFlash(g, t)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Geometry returns the device geometry.
+func (f *Flash) Geometry() Geometry { return f.geo }
+
+// Codec returns the address codec for this device.
+func (f *Flash) Codec() AddrCodec { return f.codec }
+
+// Timing returns the NAND timing parameters.
+func (f *Flash) Timing() Timing { return f.timing }
+
+// Counters returns the accumulated operation counters.
+func (f *Flash) Counters() OpCounters { return f.counters }
+
+// ResetCounters zeroes the operation counters (used between warm-up and
+// measurement phases of an experiment).
+func (f *Flash) ResetCounters() { f.counters = OpCounters{} }
+
+// schedule serializes an operation of duration d on chip, not starting
+// before `after`, and returns its completion time.
+func (f *Flash) schedule(chip int, after Time, d Time) Time {
+	start := after
+	if f.chipBusy[chip] > start {
+		start = f.chipBusy[chip]
+	}
+	done := start + d
+	f.chipBusy[chip] = done
+	return done
+}
+
+// Read performs a page read. `after` is the earliest time the operation may
+// start (its dependency); the return value is its completion time. Reads of
+// free or invalid pages are permitted — mispredicted learned-index reads do
+// exactly that.
+func (f *Flash) Read(p PPN, after Time, kind OpKind) Time {
+	f.counters.Reads[kind]++
+	return f.schedule(f.codec.Chip(p), after, f.timing.ReadLatency)
+}
+
+// Program writes a page, setting it valid and recording its OOB. NAND
+// requires in-order programming within a block; violating that, or
+// programming a non-free page, is a simulator-usage bug and returns an
+// error.
+func (f *Flash) Program(p PPN, oob OOB, after Time, kind OpKind) (Time, error) {
+	a := f.codec.Decode(p)
+	bid := f.codec.BlockID(p)
+	b := &f.blocks[bid]
+	if f.state[p] != PageFree {
+		return 0, fmt.Errorf("nand: program of non-free page %d (state %v)", p, f.state[p])
+	}
+	if a.Page != b.writePtr {
+		return 0, fmt.Errorf("nand: out-of-order program: block %d page %d, write pointer %d",
+			bid, a.Page, b.writePtr)
+	}
+	f.state[p] = PageValid
+	f.oob[p] = oob
+	b.valid++
+	b.writePtr++
+	f.counters.Programs[kind]++
+	return f.schedule(f.codec.Chip(p), after, f.timing.ProgramLatency), nil
+}
+
+// Invalidate marks a valid page stale. Invalidating a non-valid page is a
+// usage bug.
+func (f *Flash) Invalidate(p PPN) error {
+	if f.state[p] != PageValid {
+		return fmt.Errorf("nand: invalidate of non-valid page %d (state %v)", p, f.state[p])
+	}
+	f.state[p] = PageInvalid
+	f.blocks[f.codec.BlockID(p)].valid--
+	return nil
+}
+
+// Erase erases a whole block, returning the completion time. Erasing a block
+// that still holds valid pages is a usage bug (data loss).
+func (f *Flash) Erase(blockID int, after Time) (Time, error) {
+	b := &f.blocks[blockID]
+	if b.valid != 0 {
+		return 0, fmt.Errorf("nand: erase of block %d with %d valid pages", blockID, b.valid)
+	}
+	base := PPN(int64(blockID) * int64(f.geo.PagesPerBlock))
+	for i := 0; i < f.geo.PagesPerBlock; i++ {
+		f.state[base+PPN(i)] = PageFree
+		f.oob[base+PPN(i)] = OOB{}
+	}
+	b.writePtr = 0
+	b.erases++
+	f.counters.Erases++
+	chip := f.codec.Chip(base)
+	return f.schedule(chip, after, f.timing.EraseLatency), nil
+}
+
+// State returns the state of page p.
+func (f *Flash) State(p PPN) PageState { return f.state[p] }
+
+// PageOOB returns the OOB metadata of page p.
+func (f *Flash) PageOOB(p PPN) OOB { return f.oob[p] }
+
+// BlockValid returns the number of valid pages in blockID.
+func (f *Flash) BlockValid(blockID int) int { return f.blocks[blockID].valid }
+
+// BlockWritePtr returns the next programmable page index of blockID
+// (PagesPerBlock when the block is full).
+func (f *Flash) BlockWritePtr(blockID int) int { return f.blocks[blockID].writePtr }
+
+// BlockErases returns how many times blockID has been erased.
+func (f *Flash) BlockErases(blockID int) int64 { return f.blocks[blockID].erases }
+
+// BlockFreePages returns the number of still-programmable pages in blockID.
+func (f *Flash) BlockFreePages(blockID int) int {
+	return f.geo.PagesPerBlock - f.blocks[blockID].writePtr
+}
+
+// ChipBusyUntil returns the next idle time of the given parallel unit.
+func (f *Flash) ChipBusyUntil(chip int) Time { return f.chipBusy[chip] }
+
+// MaxChipBusy returns the latest busy-until across all chips; useful as a
+// makespan estimate after a run.
+func (f *Flash) MaxChipBusy() Time {
+	var m Time
+	for _, t := range f.chipBusy {
+		if t > m {
+			m = t
+		}
+	}
+	return m
+}

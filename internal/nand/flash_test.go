@@ -1,0 +1,196 @@
+package nand
+
+import "testing"
+
+func newTestFlash(t *testing.T) *Flash {
+	t.Helper()
+	f, err := NewFlash(testGeom(), DefaultTiming())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestProgramReadInvalidateEraseLifecycle(t *testing.T) {
+	f := newTestFlash(t)
+	p := PPN(0)
+	if f.State(p) != PageFree {
+		t.Fatalf("new page state = %v", f.State(p))
+	}
+	done, err := f.Program(p, OOB{Key: 42}, 0, OpHostData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done != f.Timing().ProgramLatency {
+		t.Errorf("program done = %d, want %d", done, f.Timing().ProgramLatency)
+	}
+	if f.State(p) != PageValid || f.PageOOB(p).Key != 42 {
+		t.Fatalf("post-program state=%v oob=%+v", f.State(p), f.PageOOB(p))
+	}
+	if err := f.Invalidate(p); err != nil {
+		t.Fatal(err)
+	}
+	if f.State(p) != PageInvalid {
+		t.Fatalf("post-invalidate state = %v", f.State(p))
+	}
+	if _, err := f.Erase(0, done); err != nil {
+		t.Fatal(err)
+	}
+	if f.State(p) != PageFree || f.BlockWritePtr(0) != 0 {
+		t.Fatal("erase did not reset block")
+	}
+	if f.BlockErases(0) != 1 {
+		t.Errorf("BlockErases = %d, want 1", f.BlockErases(0))
+	}
+}
+
+func TestProgramEnforcesInOrder(t *testing.T) {
+	f := newTestFlash(t)
+	// Skipping page 0 must fail.
+	if _, err := f.Program(PPN(1), OOB{}, 0, OpHostData); err == nil {
+		t.Fatal("out-of-order program accepted")
+	}
+	if _, err := f.Program(PPN(0), OOB{}, 0, OpHostData); err != nil {
+		t.Fatal(err)
+	}
+	// Re-programming page 0 must fail.
+	if _, err := f.Program(PPN(0), OOB{}, 0, OpHostData); err == nil {
+		t.Fatal("double program accepted")
+	}
+	// Page 1 is now in order.
+	if _, err := f.Program(PPN(1), OOB{}, 0, OpHostData); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEraseRejectsValidPages(t *testing.T) {
+	f := newTestFlash(t)
+	if _, err := f.Program(PPN(0), OOB{}, 0, OpHostData); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Erase(0, 0); err == nil {
+		t.Fatal("erase of block with valid page accepted")
+	}
+	if err := f.Invalidate(PPN(0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Erase(0, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvalidateRejectsNonValid(t *testing.T) {
+	f := newTestFlash(t)
+	if err := f.Invalidate(PPN(5)); err == nil {
+		t.Fatal("invalidate of free page accepted")
+	}
+}
+
+// TestChipSerialization verifies the timing core: two ops on the same chip
+// serialize; ops on different chips overlap.
+func TestChipSerialization(t *testing.T) {
+	f := newTestFlash(t)
+	rd := f.Timing().ReadLatency
+
+	// Same chip (PPNs 0 and 1 are in the same block → same chip).
+	d1 := f.Read(PPN(0), 0, OpHostData)
+	d2 := f.Read(PPN(1), 0, OpHostData)
+	if d1 != rd || d2 != 2*rd {
+		t.Fatalf("same-chip reads done at %d,%d; want %d,%d", d1, d2, rd, 2*rd)
+	}
+
+	// Different chip: channel 1 way 0.
+	other := f.Codec().Encode(Addr{Channel: 1})
+	d3 := f.Read(other, 0, OpHostData)
+	if d3 != rd {
+		t.Fatalf("cross-chip read done at %d, want %d (no serialization)", d3, rd)
+	}
+}
+
+func TestDependencyOrdering(t *testing.T) {
+	f := newTestFlash(t)
+	rd := f.Timing().ReadLatency
+	// An op whose dependency completes after the chip goes idle starts at
+	// the dependency time, not the chip-idle time.
+	dep := Time(10 * rd)
+	done := f.Read(PPN(0), dep, OpHostData)
+	if done != dep+rd {
+		t.Fatalf("read after dep done at %d, want %d", done, dep+rd)
+	}
+}
+
+func TestCountersByKind(t *testing.T) {
+	f := newTestFlash(t)
+	f.Read(PPN(0), 0, OpHostData)
+	f.Read(PPN(0), 0, OpTranslation)
+	f.Read(PPN(0), 0, OpTranslation)
+	if _, err := f.Program(PPN(0), OOB{}, 0, OpGC); err != nil {
+		t.Fatal(err)
+	}
+	cv := f.Counters()
+	c := &cv
+	if c.Reads[OpHostData] != 1 || c.Reads[OpTranslation] != 2 {
+		t.Fatalf("read counters %+v", c.Reads)
+	}
+	if c.Programs[OpGC] != 1 || c.TotalPrograms() != 1 {
+		t.Fatalf("program counters %+v", c.Programs)
+	}
+	if c.TotalReads() != 3 {
+		t.Fatalf("TotalReads = %d", c.TotalReads())
+	}
+	f.ResetCounters()
+	cv = f.Counters()
+	if cv.TotalReads() != 0 {
+		t.Fatal("ResetCounters did not reset")
+	}
+}
+
+func TestEnergyAccounting(t *testing.T) {
+	var c OpCounters
+	c.Reads[OpHostData] = 10
+	c.Programs[OpGC] = 2
+	c.Erases = 1
+	e := Energy{ReadEnergy: 3, ProgramEnergy: 7, EraseEnergy: 11}
+	if got, want := c.EnergyNJ(e), int64(10*3+2*7+11); got != want {
+		t.Fatalf("EnergyNJ = %d, want %d", got, want)
+	}
+}
+
+func TestBlockFreePages(t *testing.T) {
+	f := newTestFlash(t)
+	g := f.Geometry()
+	if got := f.BlockFreePages(0); got != g.PagesPerBlock {
+		t.Fatalf("fresh block free pages = %d", got)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := f.Program(PPN(i), OOB{}, 0, OpHostData); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := f.BlockFreePages(0); got != g.PagesPerBlock-3 {
+		t.Fatalf("free pages = %d, want %d", got, g.PagesPerBlock-3)
+	}
+	if got := f.BlockValid(0); got != 3 {
+		t.Fatalf("BlockValid = %d, want 3", got)
+	}
+}
+
+func TestMaxChipBusy(t *testing.T) {
+	f := newTestFlash(t)
+	if f.MaxChipBusy() != 0 {
+		t.Fatal("fresh flash busy")
+	}
+	f.Read(PPN(0), 0, OpHostData)
+	if f.MaxChipBusy() != f.Timing().ReadLatency {
+		t.Fatalf("MaxChipBusy = %d", f.MaxChipBusy())
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	cases := map[OpKind]string{OpHostData: "host", OpTranslation: "translation", OpGC: "gc"}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+// Package sim drives an FTL with a closed-loop multi-threaded host, the way
+// the paper drives FEMU with FIO's psync engine: each logical thread keeps
+// exactly one request outstanding, issuing the next one the moment the
+// previous completes. Parallelism across threads emerges from per-chip
+// scheduling inside the flash array.
+package sim
+
+import (
+	"learnedftl/internal/ftl"
+	"learnedftl/internal/nand"
+)
+
+// Request is one host I/O in pages.
+type Request struct {
+	Write bool
+	LPN   int64
+	Pages int
+}
+
+// Generator produces the request stream of one thread. Next returns false
+// when the thread has no more work.
+type Generator interface {
+	Next() (Request, bool)
+}
+
+// GenFunc adapts a function to the Generator interface.
+type GenFunc func() (Request, bool)
+
+// Next implements Generator.
+func (g GenFunc) Next() (Request, bool) { return g() }
+
+// Result summarizes one engine run.
+type Result struct {
+	Start    nand.Time
+	End      nand.Time
+	Requests int64
+}
+
+// Makespan returns the virtual duration of the run.
+func (r Result) Makespan() nand.Time { return r.End - r.Start }
+
+// Run replays one generator per thread against f until all generators are
+// exhausted or maxRequests have been issued (0 = unlimited). It records
+// per-request latency into the FTL's collector and returns the run result.
+//
+// The engine is deterministic: among ready threads the lowest-indexed one
+// issues first, and virtual time advances only through flash-op completion.
+func Run(f ftl.FTL, gens []Generator, maxRequests int64) Result {
+	start := f.Flash().MaxChipBusy()
+	ready := make([]nand.Time, len(gens))
+	alive := make([]bool, len(gens))
+	for i := range ready {
+		ready[i] = start
+		alive[i] = len(gens) > 0
+	}
+	col := f.Collector()
+	var issued int64
+	end := start
+	for {
+		// Pick the alive thread with the earliest ready time.
+		th := -1
+		for i := range gens {
+			if alive[i] && (th == -1 || ready[i] < ready[th]) {
+				th = i
+			}
+		}
+		if th == -1 {
+			break
+		}
+		if maxRequests > 0 && issued >= maxRequests {
+			break
+		}
+		req, ok := gens[th].Next()
+		if !ok {
+			alive[th] = false
+			continue
+		}
+		if req.Pages <= 0 {
+			req.Pages = 1
+		}
+		now := ready[th]
+		var done nand.Time
+		if req.Write {
+			done = f.WritePages(req.LPN, req.Pages, now)
+			col.RecordWrite(done-now, req.Pages)
+		} else {
+			done = f.ReadPages(req.LPN, req.Pages, now)
+			col.RecordRead(done-now, req.Pages)
+		}
+		if done < now {
+			done = now
+		}
+		ready[th] = done
+		if done > end {
+			end = done
+		}
+		issued++
+	}
+	return Result{Start: start, End: end, Requests: issued}
+}
+
+// Warmed runs a warm-up phase and then resets all metrics so a subsequent
+// measured Run starts from a steady-state device, mirroring the paper's
+// "write the SSD over ~6 times" warm-up (§IV-B).
+func Warmed(f ftl.FTL, warm []Generator, maxRequests int64) {
+	Run(f, warm, maxRequests)
+	f.Collector().Reset()
+	f.Flash().ResetCounters()
+}

@@ -1,0 +1,262 @@
+// Package stats collects the metrics every experiment in the paper reports:
+// request latencies with exact tail percentiles (P99/P99.9), read-class
+// counters (single/double/triple flash reads per host read), mapping-cache
+// and learned-model hit ratios, GC activity over time, write amplification
+// and the NANDFlashSim-style energy totals.
+package stats
+
+import (
+	"fmt"
+	"sort"
+
+	"learnedftl/internal/nand"
+)
+
+// ReadClass classifies a host read request by how many serialized flash
+// reads the address translation forced (the paper's single/double/triple
+// reads, Fig. 6b).
+type ReadClass uint8
+
+const (
+	// ReadSingle: translation resolved in DRAM (CMT hit or accurate model
+	// prediction) — one flash read for the data.
+	ReadSingle ReadClass = iota
+	// ReadDouble: one extra flash read (translation page or mispredicted
+	// page + OOB) before the data read.
+	ReadDouble
+	// ReadTriple: two extra flash reads (LeaFTL: translation read for the
+	// model, mispredicted data read, then correct data read).
+	ReadTriple
+	readClasses
+)
+
+// String implements fmt.Stringer.
+func (c ReadClass) String() string {
+	switch c {
+	case ReadSingle:
+		return "single"
+	case ReadDouble:
+		return "double"
+	case ReadTriple:
+		return "triple"
+	default:
+		return "unknown"
+	}
+}
+
+// Collector accumulates per-run metrics. One Collector belongs to one FTL
+// instance; the simulation engine records request latencies into it and the
+// FTL records hit/class events.
+type Collector struct {
+	// Latencies of completed host requests, in virtual ns.
+	readLat  []int64
+	writeLat []int64
+
+	// Host-level op/byte counts.
+	HostReads      int64
+	HostWrites     int64
+	HostReadPages  int64
+	HostWritePages int64
+
+	// Translation-path events, counted per host page read.
+	CMTHits    int64 // resolved by the cached mapping table
+	ModelHits  int64 // resolved by an accurate learned-model prediction
+	CMTLookups int64 // total page-read translations attempted
+
+	// Read classes per host page read.
+	ReadClasses [readClasses]int64
+
+	// GC activity.
+	GCCount      int64
+	GCPagesMoved int64
+	GCTimestamps []nand.Time // virtual time of each GC invocation
+	GCBusyTime   nand.Time   // total virtual time spent inside GC
+	SortTrainOps int64       // GTD entries sorted+trained during GC
+	SortTrainNS  int64       // virtual ns charged for sorting+training
+
+	// Model bookkeeping (LearnedFTL).
+	ModelTrainings int64
+	ModelBitsSet   int64 // bits set to 1 at last full evaluation
+	ModelBitsTotal int64
+}
+
+// NewCollector returns an empty Collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// RecordRead records a completed host read request of the given latency.
+func (c *Collector) RecordRead(lat nand.Time, pages int) {
+	c.readLat = append(c.readLat, int64(lat))
+	c.HostReads++
+	c.HostReadPages += int64(pages)
+}
+
+// RecordWrite records a completed host write request of the given latency.
+func (c *Collector) RecordWrite(lat nand.Time, pages int) {
+	c.writeLat = append(c.writeLat, int64(lat))
+	c.HostWrites++
+	c.HostWritePages += int64(pages)
+}
+
+// RecordClass records the read class of one host page read.
+func (c *Collector) RecordClass(cl ReadClass) { c.ReadClasses[cl]++ }
+
+// RecordGC records one GC invocation at virtual time t that moved the given
+// number of valid pages and kept the device busy for busy ns.
+func (c *Collector) RecordGC(t nand.Time, pagesMoved int, busy nand.Time) {
+	c.GCCount++
+	c.GCPagesMoved += int64(pagesMoved)
+	c.GCTimestamps = append(c.GCTimestamps, t)
+	c.GCBusyTime += busy
+}
+
+// Reset clears all accumulated metrics (between warm-up and measurement).
+func (c *Collector) Reset() { *c = Collector{} }
+
+// Percentile returns the p-th percentile (0 < p <= 100) of the merged
+// read+write latency population, or 0 if empty.
+func (c *Collector) Percentile(p float64) nand.Time {
+	all := make([]int64, 0, len(c.readLat)+len(c.writeLat))
+	all = append(all, c.readLat...)
+	all = append(all, c.writeLat...)
+	return percentile(all, p)
+}
+
+// ReadPercentile returns the p-th percentile of read latencies.
+func (c *Collector) ReadPercentile(p float64) nand.Time {
+	return percentile(c.readLat, p)
+}
+
+// WritePercentile returns the p-th percentile of write latencies.
+func (c *Collector) WritePercentile(p float64) nand.Time {
+	return percentile(c.writeLat, p)
+}
+
+func percentile(v []int64, p float64) nand.Time {
+	if len(v) == 0 {
+		return 0
+	}
+	s := make([]int64, len(v))
+	copy(s, v)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(p/100*float64(len(s))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return nand.Time(s[idx])
+}
+
+// MeanReadLatency returns the average read latency.
+func (c *Collector) MeanReadLatency() nand.Time { return mean(c.readLat) }
+
+// MeanWriteLatency returns the average write latency.
+func (c *Collector) MeanWriteLatency() nand.Time { return mean(c.writeLat) }
+
+func mean(v []int64) nand.Time {
+	if len(v) == 0 {
+		return 0
+	}
+	var sum int64
+	for _, x := range v {
+		sum += x
+	}
+	return nand.Time(sum / int64(len(v)))
+}
+
+// CMTHitRatio returns the fraction of page-read translations served by the
+// mapping cache.
+func (c *Collector) CMTHitRatio() float64 {
+	if c.CMTLookups == 0 {
+		return 0
+	}
+	return float64(c.CMTHits) / float64(c.CMTLookups)
+}
+
+// ModelHitRatio returns the fraction of page-read translations served by an
+// accurate learned-model prediction.
+func (c *Collector) ModelHitRatio() float64 {
+	if c.CMTLookups == 0 {
+		return 0
+	}
+	return float64(c.ModelHits) / float64(c.CMTLookups)
+}
+
+// ReadClassFraction returns the fraction of host page reads in class cl.
+func (c *Collector) ReadClassFraction(cl ReadClass) float64 {
+	var total int64
+	for _, n := range c.ReadClasses {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(c.ReadClasses[cl]) / float64(total)
+}
+
+// Report is a frozen summary of one experiment run, combining the
+// collector's host-side view with the flash counters.
+type Report struct {
+	FTL       string
+	Makespan  nand.Time
+	ReadMBps  float64
+	WriteMBps float64
+
+	MeanReadLat nand.Time
+	P99         nand.Time
+	P999        nand.Time
+
+	CMTHitRatio   float64
+	ModelHitRatio float64
+	SingleFrac    float64
+	DoubleFrac    float64
+	TripleFrac    float64
+
+	WriteAmp float64
+	GCCount  int64
+	EnergyMJ float64
+
+	Flash nand.OpCounters
+}
+
+// BuildReport summarizes a run. makespan is the virtual duration of the
+// measured phase; pageSize converts pages to bytes for throughput.
+func BuildReport(name string, c *Collector, flash nand.OpCounters,
+	makespan nand.Time, pageSize int, energy nand.Energy) Report {
+
+	r := Report{
+		FTL:           name,
+		Makespan:      makespan,
+		MeanReadLat:   c.MeanReadLatency(),
+		P99:           c.Percentile(99),
+		P999:          c.Percentile(99.9),
+		CMTHitRatio:   c.CMTHitRatio(),
+		ModelHitRatio: c.ModelHitRatio(),
+		SingleFrac:    c.ReadClassFraction(ReadSingle),
+		DoubleFrac:    c.ReadClassFraction(ReadDouble),
+		TripleFrac:    c.ReadClassFraction(ReadTriple),
+		GCCount:       c.GCCount,
+		Flash:         flash,
+		EnergyMJ:      float64(flash.EnergyNJ(energy)) / 1e6,
+	}
+	if makespan > 0 {
+		secs := float64(makespan) / float64(nand.Second)
+		r.ReadMBps = float64(c.HostReadPages) * float64(pageSize) / (1 << 20) / secs
+		r.WriteMBps = float64(c.HostWritePages) * float64(pageSize) / (1 << 20) / secs
+	}
+	if c.HostWritePages > 0 {
+		r.WriteAmp = float64(flash.TotalPrograms()) / float64(c.HostWritePages)
+	}
+	return r
+}
+
+// String renders a one-line summary.
+func (r Report) String() string {
+	return fmt.Sprintf("%-11s rd=%7.1fMB/s wr=%7.1fMB/s p99=%7.2fms cmt=%5.1f%% model=%5.1f%% s/d/t=%4.1f/%4.1f/%4.1f%% WA=%4.2f gc=%d",
+		r.FTL, r.ReadMBps, r.WriteMBps,
+		float64(r.P99)/float64(nand.Millisecond),
+		r.CMTHitRatio*100, r.ModelHitRatio*100,
+		r.SingleFrac*100, r.DoubleFrac*100, r.TripleFrac*100,
+		r.WriteAmp, r.GCCount)
+}

@@ -1,0 +1,109 @@
+package workload
+
+import (
+	"math/rand"
+
+	"learnedftl/internal/sim"
+)
+
+// FilebenchKind selects a Filebench personality (paper Table I).
+type FilebenchKind int
+
+// The three personalities the paper evaluates.
+const (
+	// Fileserver: 225,000 × 128KB files, write heavy, 50 threads.
+	Fileserver FilebenchKind = iota
+	// Webserver: 825,000 × 16KB files, read heavy, 64 threads.
+	Webserver
+	// Varmail: 475,000 × 16KB files, read:write ≈ 1:1, 64 threads.
+	Varmail
+)
+
+// String implements fmt.Stringer.
+func (k FilebenchKind) String() string {
+	switch k {
+	case Fileserver:
+		return "fileserver"
+	case Webserver:
+		return "webserver"
+	case Varmail:
+		return "varmail"
+	default:
+		return "unknown"
+	}
+}
+
+// Threads returns the paper's thread count for the personality (Table I).
+func (k FilebenchKind) Threads() int {
+	if k == Fileserver {
+		return 50
+	}
+	return 64
+}
+
+// filePages returns the file size in pages (Table I).
+func (k FilebenchKind) filePages() int {
+	if k == Fileserver {
+		return 32 // 128KB
+	}
+	return 4 // 16KB
+}
+
+// writeFraction returns the fraction of operations that write.
+func (k FilebenchKind) writeFraction() float64 {
+	switch k {
+	case Fileserver:
+		return 0.67 // write heavy: create/append/delete dominate
+	case Webserver:
+		return 0.08 // read heavy with a small log-append component
+	default:
+		return 0.50 // varmail: read:write = 1:1
+	}
+}
+
+// Filebench returns `threads` generators modeling the personality over a
+// device of lp pages, with perThread operations each. Files are laid out
+// contiguously (the EXT4-on-FTL layout of the paper's runs); file popularity
+// is skewed so the working set shows the locality the personality is known
+// for.
+func Filebench(k FilebenchKind, lp int64, threads, perThread int, seed int64) []sim.Generator {
+	fp := int64(k.filePages())
+	files := lp / fp
+	if files < 1 {
+		files = 1
+	}
+	// Webserver also appends to a shared log at the end of the space.
+	logBase := lp - lp/64
+	gens := make([]sim.Generator, threads)
+	for th := 0; th < threads; th++ {
+		rng := rand.New(rand.NewSource(seed + int64(th)*6151))
+		issued := 0
+		logCursor := logBase
+		gens[th] = sim.GenFunc(func() (sim.Request, bool) {
+			if issued >= perThread {
+				return sim.Request{}, false
+			}
+			issued++
+			// Zipf-ish file popularity: square the uniform to skew low ids.
+			u := rng.Float64()
+			file := int64(u * u * float64(files))
+			lpn := file * fp
+			if rng.Float64() < k.writeFraction() {
+				if k == Webserver {
+					// Log append: small sequential write.
+					if logCursor+1 > lp {
+						logCursor = logBase
+					}
+					r := sim.Request{Write: true, LPN: logCursor, Pages: 1}
+					logCursor++
+					return r, true
+				}
+				// Whole-file (re)write / create.
+				return sim.Request{Write: true, LPN: lpn, Pages: int(fp)}, true
+			}
+			// Whole-file read.
+			return sim.Request{Write: false, LPN: lpn, Pages: int(fp)}, true
+		})
+	}
+	return gens
+}

@@ -1,0 +1,111 @@
+// Package workload synthesizes the request streams the paper drives FEMU
+// with: FIO-style micro patterns (§IV-B), Filebench personalities (Table I),
+// a RocksDB/LSM db_bench model (§IV-D), and synthetic equivalents of the
+// UMass WebSearch and SYSTOR '17 traces (Table II). All generators are
+// deterministic given a seed.
+package workload
+
+import (
+	"math/rand"
+
+	"learnedftl/internal/sim"
+)
+
+// Pattern is a FIO access pattern.
+type Pattern int
+
+// FIO patterns.
+const (
+	SeqRead Pattern = iota
+	RandRead
+	SeqWrite
+	RandWrite
+)
+
+// String implements fmt.Stringer.
+func (p Pattern) String() string {
+	switch p {
+	case SeqRead:
+		return "seqread"
+	case RandRead:
+		return "randread"
+	case SeqWrite:
+		return "seqwrite"
+	case RandWrite:
+		return "randwrite"
+	default:
+		return "unknown"
+	}
+}
+
+// IsWrite reports whether the pattern writes.
+func (p Pattern) IsWrite() bool { return p == SeqWrite || p == RandWrite }
+
+// FIO returns one generator per thread for the given pattern over a device
+// of lp logical pages. Each request covers ioPages pages; each thread issues
+// perThread requests. Sequential threads scan disjoint regions (FIO's
+// per-job offset); random threads draw uniformly over the whole space.
+func FIO(p Pattern, lp int64, ioPages, threads, perThread int, seed int64) []sim.Generator {
+	gens := make([]sim.Generator, threads)
+	region := lp / int64(threads)
+	for th := 0; th < threads; th++ {
+		th := th
+		rng := rand.New(rand.NewSource(seed + int64(th)*7919))
+		issued := 0
+		cursor := int64(th) * region
+		gens[th] = sim.GenFunc(func() (sim.Request, bool) {
+			if issued >= perThread {
+				return sim.Request{}, false
+			}
+			issued++
+			n := ioPages
+			var lpn int64
+			switch p {
+			case SeqRead, SeqWrite:
+				base := int64(th) * region
+				if cursor+int64(n) > base+region {
+					cursor = base
+				}
+				lpn = cursor
+				cursor += int64(n)
+			case RandRead, RandWrite:
+				lpn = rng.Int63n(lp - int64(n) + 1)
+			}
+			return sim.Request{Write: p.IsWrite(), LPN: lpn, Pages: n}, true
+		})
+	}
+	return gens
+}
+
+// Warmup returns the paper's warm-up stream (§IV-B): one sequential fill of
+// the device followed by `extra` device-capacities of random overwrites, all
+// with large I/O (ioPages, the paper uses 128 pages = 512KB so LeaFTL's
+// learned index "can be built normally").
+func Warmup(lp int64, extra int, ioPages int, seed int64) []sim.Generator {
+	rng := rand.New(rand.NewSource(seed))
+	var cursor int64
+	phase := 0
+	written := int64(0)
+	return []sim.Generator{sim.GenFunc(func() (sim.Request, bool) {
+		n := int64(ioPages)
+		if phase == 0 {
+			if cursor >= lp {
+				phase = 1
+			} else {
+				if cursor+n > lp {
+					n = lp - cursor
+				}
+				r := sim.Request{Write: true, LPN: cursor, Pages: int(n)}
+				cursor += n
+				return r, true
+			}
+		}
+		if written >= int64(extra)*lp {
+			return sim.Request{}, false
+		}
+		lpn := rng.Int63n(lp - n + 1)
+		lpn -= lpn % n // aligned large writes
+		written += n
+		return sim.Request{Write: true, LPN: lpn, Pages: int(n)}, true
+	})}
+}

@@ -1,0 +1,94 @@
+package workload
+
+import (
+	"math/rand"
+
+	"learnedftl/internal/sim"
+)
+
+// The RocksDB/db_bench model (paper §IV-D). An LSM-tree on flash converts
+// random key writes into large sequential SST writes (memtable flushes and
+// compactions) but leaves point lookups scattered across levels — exactly
+// the "merge random writes into sequential ones at the cost of poor random
+// reads" behavior the paper exploits. The model reproduces the I/O shape at
+// the FTL boundary rather than running RocksDB itself.
+
+// sstPages is the write granularity of a memtable flush (a few MB SST file
+// written sequentially; 64 pages = 256KB keeps scaled devices realistic).
+const sstPages = 64
+
+// RocksDBFill returns a single-threaded generator reproducing the paper's
+// fillseq + overwrite preparation: sequential SST writes until the DB
+// occupies about fillFrac of the device, then overwrite traffic —
+// log-structured SST rewrites at random file slots (flush + compaction) —
+// totaling `overwrites` device fractions.
+func RocksDBFill(lp int64, fillFrac float64, overwrites float64, seed int64) []sim.Generator {
+	rng := rand.New(rand.NewSource(seed))
+	dbPages := int64(float64(lp) * fillFrac)
+	dbPages -= dbPages % sstPages
+	var cursor int64
+	var rewritten int64
+	budget := int64(float64(lp) * overwrites)
+	return []sim.Generator{sim.GenFunc(func() (sim.Request, bool) {
+		if cursor < dbPages {
+			r := sim.Request{Write: true, LPN: cursor, Pages: sstPages}
+			cursor += sstPages
+			return r, true
+		}
+		if rewritten >= budget {
+			return sim.Request{}, false
+		}
+		// Overwrite: compaction rewrites one SST-sized extent at a random
+		// slot of the DB area.
+		slot := rng.Int63n(dbPages / sstPages)
+		rewritten += sstPages
+		return sim.Request{Write: true, LPN: slot * sstPages, Pages: sstPages}, true
+	})}
+}
+
+// RocksDBReadRandom models db_bench readrandom: single-page point lookups
+// uniformly across the DB area (keys hash across SSTs, so there is no
+// spatial locality at the FTL).
+func RocksDBReadRandom(lp int64, fillFrac float64, threads, perThread int, seed int64) []sim.Generator {
+	dbPages := int64(float64(lp) * fillFrac)
+	gens := make([]sim.Generator, threads)
+	for th := 0; th < threads; th++ {
+		rng := rand.New(rand.NewSource(seed + int64(th)*911))
+		issued := 0
+		gens[th] = sim.GenFunc(func() (sim.Request, bool) {
+			if issued >= perThread {
+				return sim.Request{}, false
+			}
+			issued++
+			return sim.Request{Write: false, LPN: rng.Int63n(dbPages), Pages: 1}, true
+		})
+	}
+	return gens
+}
+
+// RocksDBReadSeq models db_bench readseq: iterator scans reading the DB
+// area sequentially in 4-page chunks.
+func RocksDBReadSeq(lp int64, fillFrac float64, threads, perThread int, seed int64) []sim.Generator {
+	dbPages := int64(float64(lp) * fillFrac)
+	gens := make([]sim.Generator, threads)
+	region := dbPages / int64(threads)
+	for th := 0; th < threads; th++ {
+		base := int64(th) * region
+		cursor := base
+		issued := 0
+		gens[th] = sim.GenFunc(func() (sim.Request, bool) {
+			if issued >= perThread {
+				return sim.Request{}, false
+			}
+			issued++
+			const n = 4
+			if cursor+n > base+region {
+				cursor = base
+			}
+			r := sim.Request{Write: false, LPN: cursor, Pages: n}
+			cursor += n
+			return r, true
+		})
+	}
+	return gens
+}

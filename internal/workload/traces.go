@@ -1,0 +1,143 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"learnedftl/internal/sim"
+)
+
+// TraceSpec describes a synthetic equivalent of one of the paper's four
+// real-world traces (Table II). The UMass WebSearch traces and the SYSTOR
+// '17 VDI trace are not redistributable, so we generate streams that match
+// their published summary statistics — request count, mean I/O size, read
+// ratio — and the strong locality the paper's §IV-E relies on.
+type TraceSpec struct {
+	Name      string
+	Requests  int64   // paper's "# of I/O"
+	AvgKB     float64 // paper's average I/O size
+	ReadRatio float64
+	// Locality model: HotFrac of the address space receives HotProb of the
+	// accesses (the classic 80/20-style skew of search-engine and VDI
+	// storage traffic), and requests run sequentially for short bursts.
+	HotFrac  float64
+	HotProb  float64
+	BurstLen int // mean sequential-burst length in requests
+	Seed     int64
+}
+
+// The four traces of Table II.
+var (
+	// WebSearch1 is a read-only search-engine trace: 1,055,235 I/Os,
+	// 15.5KB average, 100% reads.
+	WebSearch1 = TraceSpec{Name: "WebSearch1", Requests: 1055235, AvgKB: 15.5,
+		ReadRatio: 1.00, HotFrac: 0.15, HotProb: 0.85, BurstLen: 4, Seed: 101}
+	// WebSearch2: 1,200,964 I/Os, 15.3KB, 99.98% reads.
+	WebSearch2 = TraceSpec{Name: "WebSearch2", Requests: 1200964, AvgKB: 15.3,
+		ReadRatio: 0.9998, HotFrac: 0.15, HotProb: 0.85, BurstLen: 4, Seed: 102}
+	// WebSearch3: 793,073 I/Os, 15.7KB, 99.96% reads.
+	WebSearch3 = TraceSpec{Name: "WebSearch3", Requests: 793073, AvgKB: 15.7,
+		ReadRatio: 0.9996, HotFrac: 0.15, HotProb: 0.85, BurstLen: 4, Seed: 103}
+	// Systor17 is enterprise VDI traffic: 1,253,423 I/Os, 10.25KB, 61.6%
+	// reads.
+	Systor17 = TraceSpec{Name: "Systor17", Requests: 1253423, AvgKB: 10.25,
+		ReadRatio: 0.616, HotFrac: 0.20, HotProb: 0.80, BurstLen: 3, Seed: 104}
+)
+
+// Traces lists the four Table II traces in paper order.
+func Traces() []TraceSpec {
+	return []TraceSpec{WebSearch1, WebSearch2, WebSearch3, Systor17}
+}
+
+// avgPages converts the average I/O size to whole 4KB pages.
+func (s TraceSpec) avgPages() int {
+	p := int(math.Round(s.AvgKB / 4))
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// Generators returns `threads` generators that together replay about
+// scale × Requests I/Os over a device of lp pages. The paper replays the
+// busiest window of each trace; scale < 1 selects a proportionally shorter
+// window.
+func (s TraceSpec) Generators(lp int64, threads int, scale float64) []sim.Generator {
+	total := int64(float64(s.Requests) * scale)
+	if total < 1 {
+		total = 1
+	}
+	per := total / int64(threads)
+	if per < 1 {
+		per = 1
+	}
+	gens := make([]sim.Generator, threads)
+	hotPages := int64(float64(lp) * s.HotFrac)
+	if hotPages < 1 {
+		hotPages = 1
+	}
+	for th := 0; th < threads; th++ {
+		rng := rand.New(rand.NewSource(s.Seed + int64(th)*104729))
+		issued := int64(0)
+		var cursor int64 // current sequential-burst position
+		burstLeft := 0
+		gens[th] = sim.GenFunc(func() (sim.Request, bool) {
+			if issued >= per {
+				return sim.Request{}, false
+			}
+			issued++
+			// I/O size: geometric around the trace mean.
+			n := 1
+			mean := s.avgPages()
+			for n < mean*4 && rng.Float64() < 1-1/float64(mean) {
+				n++
+			}
+			if burstLeft <= 0 {
+				// Start a new burst at a hot or cold location.
+				if rng.Float64() < s.HotProb {
+					// Hot set lives at the front of the address space with
+					// a skew toward its own head.
+					u := rng.Float64()
+					cursor = int64(u * u * float64(hotPages))
+				} else {
+					cursor = hotPages + rng.Int63n(lp-hotPages)
+				}
+				burstLeft = 1 + rng.Intn(2*s.BurstLen)
+			}
+			burstLeft--
+			if cursor+int64(n) > lp {
+				cursor = 0
+			}
+			req := sim.Request{
+				Write: rng.Float64() >= s.ReadRatio,
+				LPN:   cursor,
+				Pages: n,
+			}
+			cursor += int64(n)
+			return req, true
+		})
+	}
+	return gens
+}
+
+// Stats replays a spec standalone and returns its realized request count,
+// mean I/O size in KB and read fraction — used by the Table II self-check.
+func (s TraceSpec) Stats(lp int64, scale float64) (reqs int64, avgKB, readFrac float64) {
+	gens := s.Generators(lp, 1, scale)
+	var pages, reads int64
+	for {
+		r, ok := gens[0].Next()
+		if !ok {
+			break
+		}
+		reqs++
+		pages += int64(r.Pages)
+		if !r.Write {
+			reads++
+		}
+	}
+	if reqs == 0 {
+		return 0, 0, 0
+	}
+	return reqs, float64(pages) * 4 / float64(reqs), float64(reads) / float64(reqs)
+}

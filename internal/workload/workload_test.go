@@ -1,0 +1,270 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"learnedftl/internal/sim"
+)
+
+var testLP = int64(1 << 16)
+
+func drain(t *testing.T, gens []sim.Generator) []sim.Request {
+	t.Helper()
+	var out []sim.Request
+	for _, g := range gens {
+		for {
+			r, ok := g.Next()
+			if !ok {
+				break
+			}
+			if r.LPN < 0 || r.LPN+int64(r.Pages) > testLP {
+				t.Fatalf("request out of range: %+v", r)
+			}
+			if r.Pages < 1 {
+				t.Fatalf("empty request: %+v", r)
+			}
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func TestFIOCountsAndBounds(t *testing.T) {
+	for _, p := range []Pattern{SeqRead, RandRead, SeqWrite, RandWrite} {
+		gens := FIO(p, testLP, 4, 8, 25, 42)
+		reqs := drain(t, gens)
+		if len(reqs) != 200 {
+			t.Fatalf("%v: %d requests, want 200", p, len(reqs))
+		}
+		for _, r := range reqs {
+			if r.Write != p.IsWrite() {
+				t.Fatalf("%v produced wrong direction", p)
+			}
+			if r.Pages != 4 {
+				t.Fatalf("%v: pages = %d", p, r.Pages)
+			}
+		}
+	}
+}
+
+func TestFIOSequentialIsSequentialPerThread(t *testing.T) {
+	gens := FIO(SeqRead, testLP, 4, 4, 10, 1)
+	for th, g := range gens {
+		var prev int64 = -4
+		first := true
+		for {
+			r, ok := g.Next()
+			if !ok {
+				break
+			}
+			if first {
+				first = false
+				if r.LPN != int64(th)*(testLP/4) {
+					t.Fatalf("thread %d starts at %d", th, r.LPN)
+				}
+			} else if r.LPN != prev+4 {
+				t.Fatalf("thread %d: jump from %d to %d", th, prev, r.LPN)
+			}
+			prev = r.LPN
+		}
+	}
+}
+
+func TestFIORandomSpreads(t *testing.T) {
+	gens := FIO(RandRead, testLP, 1, 1, 2000, 7)
+	reqs := drain(t, gens)
+	lowHalf := 0
+	for _, r := range reqs {
+		if r.LPN < testLP/2 {
+			lowHalf++
+		}
+	}
+	frac := float64(lowHalf) / float64(len(reqs))
+	if frac < 0.4 || frac > 0.6 {
+		t.Fatalf("random reads skewed: %.2f in low half", frac)
+	}
+}
+
+func TestFIODeterminism(t *testing.T) {
+	a := drain(t, FIO(RandWrite, testLP, 2, 2, 50, 9))
+	b := drain(t, FIO(RandWrite, testLP, 2, 2, 50, 9))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("FIO not deterministic")
+		}
+	}
+}
+
+func TestWarmupFillsThenOverwrites(t *testing.T) {
+	gens := Warmup(testLP, 2, 128, 3)
+	covered := make([]bool, testLP)
+	var total int64
+	for {
+		r, ok := gens[0].Next()
+		if !ok {
+			break
+		}
+		if !r.Write {
+			t.Fatal("warmup produced a read")
+		}
+		for i := int64(0); i < int64(r.Pages); i++ {
+			covered[r.LPN+i] = true
+		}
+		total += int64(r.Pages)
+	}
+	for lpn, c := range covered {
+		if !c {
+			t.Fatalf("lpn %d never written by warmup", lpn)
+		}
+	}
+	if total < 3*testLP {
+		t.Fatalf("warmup wrote %d pages, want >= %d", total, 3*testLP)
+	}
+}
+
+func TestTraceSpecsMatchTable2(t *testing.T) {
+	for _, spec := range Traces() {
+		reqs, avgKB, readFrac := spec.Stats(testLP, 0.02)
+		wantReqs := int64(float64(spec.Requests) * 0.02)
+		if reqs < wantReqs-1 || reqs > wantReqs+1 {
+			t.Errorf("%s: %d requests, want ~%d", spec.Name, reqs, wantReqs)
+		}
+		if math.Abs(avgKB-spec.AvgKB)/spec.AvgKB > 0.35 {
+			t.Errorf("%s: avg I/O %.1fKB, want ~%.1fKB", spec.Name, avgKB, spec.AvgKB)
+		}
+		if math.Abs(readFrac-spec.ReadRatio) > 0.02 {
+			t.Errorf("%s: read ratio %.3f, want %.3f", spec.Name, readFrac, spec.ReadRatio)
+		}
+	}
+}
+
+func TestTraceLocality(t *testing.T) {
+	spec := WebSearch1
+	gens := spec.Generators(testLP, 1, 0.01)
+	hot := int64(float64(testLP) * spec.HotFrac)
+	inHot, total := 0, 0
+	for {
+		r, ok := gens[0].Next()
+		if !ok {
+			break
+		}
+		total++
+		if r.LPN < hot {
+			inHot++
+		}
+	}
+	if frac := float64(inHot) / float64(total); frac < 0.7 {
+		t.Fatalf("hot-set fraction = %.2f, want >= 0.7 (strong locality)", frac)
+	}
+}
+
+func TestFilebenchMixes(t *testing.T) {
+	cases := []struct {
+		k       FilebenchKind
+		loWrite float64
+		hiWrite float64
+	}{
+		{Fileserver, 0.55, 0.8},
+		{Webserver, 0.02, 0.15},
+		{Varmail, 0.4, 0.6},
+	}
+	for _, tc := range cases {
+		gens := Filebench(tc.k, testLP, 4, 500, 11)
+		reqs := drain(t, gens)
+		writes := 0
+		for _, r := range reqs {
+			if r.Write {
+				writes++
+			}
+		}
+		frac := float64(writes) / float64(len(reqs))
+		if frac < tc.loWrite || frac > tc.hiWrite {
+			t.Errorf("%v: write fraction %.2f outside [%.2f, %.2f]", tc.k, frac, tc.loWrite, tc.hiWrite)
+		}
+	}
+	if Fileserver.Threads() != 50 || Webserver.Threads() != 64 || Varmail.Threads() != 64 {
+		t.Error("Table I thread counts wrong")
+	}
+}
+
+func TestFilebenchFileAlignment(t *testing.T) {
+	gens := Filebench(Fileserver, testLP, 1, 300, 5)
+	for {
+		r, ok := gens[0].Next()
+		if !ok {
+			break
+		}
+		if !r.Write && r.LPN%32 != 0 {
+			t.Fatalf("fileserver read not file-aligned: %+v", r)
+		}
+	}
+}
+
+func TestRocksDBFillShape(t *testing.T) {
+	gens := RocksDBFill(testLP, 0.8, 0.5, 13)
+	dbPages := int64(float64(testLP) * 0.8)
+	dbPages -= dbPages % sstPages
+	var seqPages, owPages int64
+	cursorOK := true
+	var expect int64
+	for {
+		r, ok := gens[0].Next()
+		if !ok {
+			break
+		}
+		if !r.Write {
+			t.Fatal("fill produced a read")
+		}
+		if seqPages < dbPages {
+			if r.LPN != expect {
+				cursorOK = false
+			}
+			expect += int64(r.Pages)
+			seqPages += int64(r.Pages)
+		} else {
+			if r.LPN%sstPages != 0 {
+				t.Fatalf("overwrite not SST-aligned: %+v", r)
+			}
+			owPages += int64(r.Pages)
+		}
+	}
+	if !cursorOK {
+		t.Fatal("fillseq phase not sequential")
+	}
+	if seqPages != dbPages {
+		t.Fatalf("fillseq wrote %d, want %d", seqPages, dbPages)
+	}
+	if owPages < int64(float64(testLP)*0.5) {
+		t.Fatalf("overwrite wrote %d pages", owPages)
+	}
+}
+
+func TestRocksDBReaders(t *testing.T) {
+	rr := drain(t, RocksDBReadRandom(testLP, 0.8, 4, 100, 3))
+	if len(rr) != 400 {
+		t.Fatalf("readrandom count %d", len(rr))
+	}
+	lpf := float64(testLP)
+	dbPages := int64(lpf * 0.8)
+	for _, r := range rr {
+		if r.Write || r.Pages != 1 || r.LPN >= dbPages {
+			t.Fatalf("bad readrandom request %+v", r)
+		}
+	}
+	rs := drain(t, RocksDBReadSeq(testLP, 0.8, 4, 100, 3))
+	for _, r := range rs {
+		if r.Write || r.Pages != 4 {
+			t.Fatalf("bad readseq request %+v", r)
+		}
+	}
+}
+
+func TestPatternStrings(t *testing.T) {
+	if SeqRead.String() != "seqread" || RandWrite.String() != "randwrite" {
+		t.Fatal("pattern strings wrong")
+	}
+	if Fileserver.String() != "fileserver" || Varmail.String() != "varmail" {
+		t.Fatal("filebench strings wrong")
+	}
+}
