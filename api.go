@@ -18,12 +18,14 @@ package learnedftl
 
 import (
 	"fmt"
+	"time"
 
 	"learnedftl/internal/core"
 	"learnedftl/internal/dftl"
 	"learnedftl/internal/ftl"
 	"learnedftl/internal/leaftl"
 	"learnedftl/internal/nand"
+	"learnedftl/internal/sweep"
 	"learnedftl/internal/tpftl"
 )
 
@@ -100,6 +102,47 @@ func NewLearned(cfg Config, opt Options) (*core.LearnedFTL, error) {
 
 // DefaultLearnedOptions returns the paper's LearnedFTL configuration.
 func DefaultLearnedOptions() Options { return core.DefaultOptions() }
+
+// AutoWorkers returns the worker count that saturates the machine when set
+// as Budget.Workers (GOMAXPROCS). Experiment cells are hermetic and
+// deterministically seeded, so any worker count yields byte-identical
+// tables; parallelism only changes wall-clock time.
+func AutoWorkers() int { return sweep.Auto() }
+
+// BenchResult pairs one experiment's table with its wall-clock cost; the
+// slice emitted by RunExperiments is what cmd/ftlbench serializes into
+// BENCH_<timestamp>.json.
+type BenchResult struct {
+	Experiment string  `json:"experiment"`
+	Seconds    float64 `json:"seconds"`
+	Table      Table   `json:"table"`
+}
+
+// RunExperiments runs the given experiment ids in order under cfg and b,
+// timing each. The cells inside each experiment fan across b.Workers
+// goroutines; experiments themselves run sequentially so their wall-clock
+// splits stay meaningful.
+func RunExperiments(ids []string, cfg Config, b Budget) ([]BenchResult, error) {
+	out := make([]BenchResult, 0, len(ids))
+	exps := Experiments()
+	for _, id := range ids {
+		run, ok := exps[id]
+		if !ok {
+			return nil, fmt.Errorf("learnedftl: unknown experiment %q", id)
+		}
+		start := time.Now()
+		tab, err := run(cfg, b)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", id, err)
+		}
+		out = append(out, BenchResult{
+			Experiment: id,
+			Seconds:    time.Since(start).Seconds(),
+			Table:      tab,
+		})
+	}
+	return out, nil
+}
 
 // PaperConfig returns the paper's exact device (§IV-A): 64 chips, 32 GiB,
 // 40µs/200µs/2ms NAND, 512-entry translation pages, 64-entry GTD groups,

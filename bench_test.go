@@ -6,7 +6,9 @@ import (
 	"testing"
 
 	"learnedftl/internal/learned"
+	"learnedftl/internal/mapping"
 	"learnedftl/internal/nand"
+	"learnedftl/internal/sim"
 	"learnedftl/internal/workload"
 )
 
@@ -187,4 +189,67 @@ func BenchmarkAblationNoCrossGroup(b *testing.B) {
 	opt := DefaultLearnedOptions()
 	opt.DisableCrossGroup = true
 	benchLearnedRandRead(b, opt)
+}
+
+// Micro-benchmarks of the translation hot paths. The cache-hit paths must
+// stay at 0 allocs/op — run with -benchmem or rely on ReportAllocs to keep
+// the allocation trajectory visible.
+
+func BenchmarkCMTHit(b *testing.B) {
+	c := mapping.NewCMT(1024)
+	for i := int64(0); i < 1024; i++ {
+		c.Insert(i, nand.PPN(i), false)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := c.Lookup(int64(i) & 1023); !ok {
+			b.Fatal("unexpected miss")
+		}
+	}
+}
+
+func BenchmarkCMTMissEvictInsert(b *testing.B) {
+	const capn = 1024
+	c := mapping.NewCMT(capn)
+	for i := int64(0); i < capn; i++ {
+		c.Insert(i, nand.PPN(i), false)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lpn := int64(capn + i)
+		c.Insert(lpn, nand.PPN(lpn), i%2 == 0)
+		for c.NeedsEviction() {
+			if _, ok := c.EvictLRU(); !ok {
+				b.Fatal("eviction failed")
+			}
+		}
+	}
+}
+
+// BenchmarkSimRunSchedule measures the engine's per-request scheduling cost
+// (min-heap pop/push over 256 closed-loop threads) against the ideal FTL,
+// whose translation is a single slice load — so scheduling dominates.
+func BenchmarkSimRunSchedule(b *testing.B) {
+	cfg := TinyConfig()
+	f, err := New(SchemeIdeal, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lp := cfg.LogicalPages()
+	sim.Warmed(f, workload.Warmup(lp, 0, 128, 1), 0)
+	const threads = 256
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		gens := workload.FIO(workload.RandRead, lp, 1, threads, 64, int64(i))
+		f.Collector().Reset()
+		f.Flash().ResetCounters()
+		b.StartTimer()
+		if res := sim.Run(f, gens, 0); res.Requests != threads*64 {
+			b.Fatalf("issued %d", res.Requests)
+		}
+	}
 }

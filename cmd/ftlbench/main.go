@@ -6,10 +6,22 @@
 //	ftlbench -exp fig14                 # one experiment, quick scale
 //	ftlbench -exp all -scale quick      # the whole evaluation section
 //	ftlbench -exp fig21 -scale paper    # paper-scale run (slow)
+//	ftlbench -exp all -parallel         # fan cells across all CPU cores
+//	ftlbench -exp all -parallel -json   # also write BENCH_<timestamp>.json
 //	ftlbench -list                      # available experiment ids
+//
+// -parallel fans the independent (scheme × workload) cells of each
+// experiment across GOMAXPROCS worker goroutines. Every cell builds its own
+// deterministically-seeded device, so the tables are byte-identical to a
+// serial run — only the wall-clock changes.
+//
+// -json additionally writes the results (per-experiment tables plus
+// wall-clock seconds, device and budget metadata) to BENCH_<timestamp>.json
+// in the current directory, for machine-readable perf trajectories.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,11 +31,23 @@ import (
 	"learnedftl"
 )
 
+// benchFile is the JSON document -json emits.
+type benchFile struct {
+	Timestamp string                   `json:"timestamp"`
+	Device    string                   `json:"device"`
+	Scale     string                   `json:"scale"`
+	Workers   int                      `json:"workers"`
+	Budget    learnedftl.Budget        `json:"budget"`
+	Results   []learnedftl.BenchResult `json:"results"`
+}
+
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment id (figN, table2, or 'all')")
-		scale = flag.String("scale", "quick", "quick | paper | tiny")
-		list  = flag.Bool("list", false, "list experiment ids and exit")
+		exp      = flag.String("exp", "all", "experiment id (figN, table2, or 'all')")
+		scale    = flag.String("scale", "quick", "quick | paper | tiny")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		parallel = flag.Bool("parallel", false, "fan experiment cells across GOMAXPROCS workers (same tables, less wall-clock)")
+		jsonOut  = flag.Bool("json", false, "write results to BENCH_<timestamp>.json")
 	)
 	flag.Parse()
 
@@ -46,8 +70,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
 		os.Exit(2)
 	}
-	fmt.Printf("device: %s  logical pages: %d  budget: %d requests/run\n\n",
-		cfg.Geometry, cfg.LogicalPages(), budget.Requests)
+	if *parallel {
+		budget.Workers = learnedftl.AutoWorkers()
+	}
+	fmt.Printf("device: %s  logical pages: %d  budget: %d requests/run  workers: %d\n\n",
+		cfg.Geometry, cfg.LogicalPages(), budget.Requests, max(1, budget.Workers))
 
 	exps := learnedftl.Experiments()
 	var ids []string
@@ -60,14 +87,43 @@ func main() {
 		}
 		ids = []string{*exp}
 	}
+
+	// Run one experiment at a time so tables stream as they finish (a
+	// paper-scale -exp all run takes hours) and completed results are not
+	// lost if a later experiment fails.
+	var results []learnedftl.BenchResult
 	for _, id := range ids {
-		start := time.Now()
-		tab, err := exps[id](cfg, budget)
+		res, err := learnedftl.RunExperiments([]string{id}, cfg, budget)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Println(tab)
-		fmt.Printf("(%s finished in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		r := res[0]
+		fmt.Println(r.Table)
+		fmt.Printf("(%s finished in %.3fs)\n\n", r.Experiment, r.Seconds)
+		results = append(results, r)
+	}
+
+	if *jsonOut {
+		now := time.Now()
+		doc := benchFile{
+			Timestamp: now.Format(time.RFC3339),
+			Device:    cfg.Geometry.String(),
+			Scale:     *scale,
+			Workers:   max(1, budget.Workers),
+			Budget:    budget,
+			Results:   results,
+		}
+		name := fmt.Sprintf("BENCH_%s.json", now.Format("20060102T150405"))
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(name, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", name)
 	}
 }

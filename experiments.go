@@ -11,6 +11,7 @@ import (
 	"learnedftl/internal/nand"
 	"learnedftl/internal/sim"
 	"learnedftl/internal/stats"
+	"learnedftl/internal/sweep"
 	"learnedftl/internal/workload"
 )
 
@@ -18,14 +19,28 @@ import (
 // full paper-scale reproductions.
 type Budget struct {
 	// Requests is the number of measured host requests per run.
-	Requests int
+	Requests int `json:"requests"`
 	// WarmExtra is how many extra device capacities of random overwrites
 	// follow the sequential warm-up fill (the paper uses ~6 total passes).
-	WarmExtra int
+	WarmExtra int `json:"warm_extra"`
 	// TraceScale is the fraction of each Table II trace replayed.
-	TraceScale float64
+	TraceScale float64 `json:"trace_scale"`
 	// Threads used where the paper fixes 64.
-	Threads int
+	Threads int `json:"threads"`
+	// Workers bounds how many experiment cells run concurrently. Each cell
+	// is one independent (scheme × workload) measurement with its own
+	// device and deterministic seeding, so any Workers value produces
+	// byte-identical tables; <= 1 runs serially. Use AutoWorkers() to
+	// saturate the machine.
+	Workers int `json:"workers"`
+}
+
+// runCells executes n independent experiment cells under the budget's
+// worker pool. Each cell must write its result only into slots it owns
+// (indexed by i), which makes table assembly order-preserving regardless of
+// completion order.
+func runCells(b Budget, n int, cell func(i int) error) error {
+	return sweep.Run(b.Workers, sweep.Tasks(n, cell))
 }
 
 // QuickBudget finishes the whole suite in minutes on a laptop.
@@ -40,9 +55,9 @@ func PaperBudget() Budget {
 
 // Table is a printable experiment result.
 type Table struct {
-	Title  string
-	Header []string
-	Rows   [][]string
+	Title  string     `json:"title"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
 }
 
 // String renders the table with aligned columns.
@@ -122,9 +137,22 @@ func measureFIO(f FTL, p workload.Pattern, threads, ioPages, total int) stats.Re
 }
 
 // Fig2 reproduces the motivation experiment: TPFTL sequential vs random read
-// throughput and CMT hit ratio as the thread count grows.
+// throughput and CMT hit ratio as the thread count grows. Each thread count
+// is one sweep cell measuring a freshly warmed device, so cells are
+// independent and the table is identical at any worker count.
 func Fig2(cfg Config, b Budget) (Table, error) {
-	f, err := newWarmed(SchemeTPFTL, cfg, b.WarmExtra)
+	threads := []int{1, 16, 32, 64}
+	type cell struct{ seq, rnd stats.Report }
+	res := make([]cell, len(threads))
+	err := runCells(b, len(threads), func(i int) error {
+		f, err := newWarmed(SchemeTPFTL, cfg, b.WarmExtra)
+		if err != nil {
+			return err
+		}
+		res[i].seq = measureFIO(f, workload.SeqRead, threads[i], 8, b.Requests)
+		res[i].rnd = measureFIO(f, workload.RandRead, threads[i], 1, b.Requests)
+		return nil
+	})
 	if err != nil {
 		return Table{}, err
 	}
@@ -132,12 +160,10 @@ func Fig2(cfg Config, b Budget) (Table, error) {
 		Title:  "Fig 2: TPFTL read performance vs threads (seq uses 8-page I/O, rand 1-page)",
 		Header: []string{"threads", "seqread MB/s", "randread MB/s", "seq CMT hit", "rand CMT hit"},
 	}
-	for _, th := range []int{1, 16, 32, 64} {
-		seq := measureFIO(f, workload.SeqRead, th, 8, b.Requests)
-		rnd := measureFIO(f, workload.RandRead, th, 1, b.Requests)
+	for i, th := range threads {
 		t.Rows = append(t.Rows, []string{
-			fmt.Sprint(th), f1(seq.ReadMBps), f1(rnd.ReadMBps),
-			pct(seq.CMTHitRatio), pct(rnd.CMTHitRatio),
+			fmt.Sprint(th), f1(res[i].seq.ReadMBps), f1(res[i].rnd.ReadMBps),
+			pct(res[i].seq.CMTHitRatio), pct(res[i].rnd.CMTHitRatio),
 		})
 	}
 	return t, nil
@@ -146,19 +172,27 @@ func Fig2(cfg Config, b Budget) (Table, error) {
 // Fig3 reproduces the CMT-scaling experiment: TPFTL's random-read hit ratio
 // barely improves even with a CMT holding 50% of all mappings.
 func Fig3(cfg Config, b Budget) (Table, error) {
+	ratios := []float64{0.001, 0.03, 0.10, 0.30, 0.50}
+	res := make([]stats.Report, len(ratios))
+	err := runCells(b, len(ratios), func(i int) error {
+		c := cfg
+		c.CMTRatio = ratios[i]
+		f, err := newWarmed(SchemeTPFTL, c, b.WarmExtra)
+		if err != nil {
+			return err
+		}
+		res[i] = measureFIO(f, workload.RandRead, b.Threads, 1, b.Requests)
+		return nil
+	})
+	if err != nil {
+		return Table{}, err
+	}
 	t := Table{
 		Title:  "Fig 3: TPFTL CMT hit ratio vs CMT space (randread, 64 threads)",
 		Header: []string{"CMT space", "hit ratio"},
 	}
-	for _, ratio := range []float64{0.001, 0.03, 0.10, 0.30, 0.50} {
-		c := cfg
-		c.CMTRatio = ratio
-		f, err := newWarmed(SchemeTPFTL, c, b.WarmExtra)
-		if err != nil {
-			return Table{}, err
-		}
-		r := measureFIO(f, workload.RandRead, b.Threads, 1, b.Requests)
-		t.Rows = append(t.Rows, []string{pct(ratio), pct(r.CMTHitRatio)})
+	for i, ratio := range ratios {
+		t.Rows = append(t.Rows, []string{pct(ratio), pct(res[i].CMTHitRatio)})
 	}
 	return t, nil
 }
@@ -166,16 +200,20 @@ func Fig3(cfg Config, b Budget) (Table, error) {
 // Fig6 reproduces the LeaFTL motivation: random-read throughput normalized
 // to TPFTL, and LeaFTL's single/double/triple read breakdown.
 func Fig6(cfg Config, b Budget) (Table, error) {
-	tp, err := newWarmed(SchemeTPFTL, cfg, b.WarmExtra)
+	schemes := []Scheme{SchemeTPFTL, SchemeLeaFTL}
+	res := make([]stats.Report, len(schemes))
+	err := runCells(b, len(schemes), func(i int) error {
+		f, err := newWarmed(schemes[i], cfg, b.WarmExtra)
+		if err != nil {
+			return err
+		}
+		res[i] = measureFIO(f, workload.RandRead, b.Threads, 1, b.Requests)
+		return nil
+	})
 	if err != nil {
 		return Table{}, err
 	}
-	le, err := newWarmed(SchemeLeaFTL, cfg, b.WarmExtra)
-	if err != nil {
-		return Table{}, err
-	}
-	rTP := measureFIO(tp, workload.RandRead, b.Threads, 1, b.Requests)
-	rLE := measureFIO(le, workload.RandRead, b.Threads, 1, b.Requests)
+	rTP, rLE := res[0], res[1]
 	t := Table{
 		Title:  "Fig 6: LeaFTL vs TPFTL under FIO random reads",
 		Header: []string{"FTL", "MB/s", "norm vs TPFTL", "single", "double", "triple"},
@@ -203,11 +241,22 @@ func filebenchRun(f FTL, k workload.FilebenchKind, b Budget) stats.Report {
 // Fig7 reproduces the locality motivation: TPFTL vs LeaFTL on Filebench,
 // plus the webserver hit-ratio comparison.
 func Fig7(cfg Config, b Budget) (Table, error) {
-	tp, err := newWarmed(SchemeTPFTL, cfg, b.WarmExtra)
-	if err != nil {
-		return Table{}, err
-	}
-	le, err := newWarmed(SchemeLeaFTL, cfg, b.WarmExtra)
+	schemes := []Scheme{SchemeTPFTL, SchemeLeaFTL}
+	kinds := []workload.FilebenchKind{workload.Fileserver, workload.Webserver, workload.Varmail}
+	// One cell per scheme; the three personalities run back-to-back on that
+	// cell's device, as the paper's successive Filebench runs do.
+	res := make([][]stats.Report, len(schemes))
+	err := runCells(b, len(schemes), func(i int) error {
+		f, err := newWarmed(schemes[i], cfg, b.WarmExtra)
+		if err != nil {
+			return err
+		}
+		res[i] = make([]stats.Report, len(kinds))
+		for j, k := range kinds {
+			res[i][j] = filebenchRun(f, k, b)
+		}
+		return nil
+	})
 	if err != nil {
 		return Table{}, err
 	}
@@ -215,9 +264,8 @@ func Fig7(cfg Config, b Budget) (Table, error) {
 		Title:  "Fig 7: TPFTL vs LeaFTL on Filebench (throughput norm. to TPFTL; hit = single-read fraction)",
 		Header: []string{"workload", "LeaFTL norm", "TPFTL norm", "LeaFTL single", "TPFTL single"},
 	}
-	for _, k := range []workload.FilebenchKind{workload.Fileserver, workload.Webserver, workload.Varmail} {
-		rTP := filebenchRun(tp, k, b)
-		rLE := filebenchRun(le, k, b)
+	for j, k := range kinds {
+		rTP, rLE := res[0][j], res[1][j]
 		den := rTP.ReadMBps + rTP.WriteMBps
 		num := rLE.ReadMBps + rLE.WriteMBps
 		t.Rows = append(t.Rows, []string{
@@ -238,23 +286,31 @@ func Fig14(cfg Config, b Budget) (Table, error) {
 		Header: []string{"FTL", "randread", "seqread", "randwrite", "seqwrite",
 			"rr CMT", "rr model", "sr CMT", "sr model", "WA rand", "WA seq"},
 	}
-	for _, s := range Schemes() {
+	schemes := Schemes()
+	rows := make([][]string, len(schemes))
+	err := runCells(b, len(schemes), func(i int) error {
+		s := schemes[i]
 		f, err := newWarmed(s, cfg, b.WarmExtra)
 		if err != nil {
-			return Table{}, err
+			return err
 		}
 		rr := measureFIO(f, workload.RandRead, b.Threads, 1, b.Requests)
 		sr := measureFIO(f, workload.SeqRead, b.Threads, 8, b.Requests)
 		rw := measureFIO(f, workload.RandWrite, b.Threads, 1, b.Requests)
 		sw := measureFIO(f, workload.SeqWrite, b.Threads, 8, b.Requests)
-		t.Rows = append(t.Rows, []string{
+		rows[i] = []string{
 			s.String(),
 			f1(rr.ReadMBps), f1(sr.ReadMBps), f1(rw.WriteMBps), f1(sw.WriteMBps),
 			pct(rr.CMTHitRatio), pct(rr.ModelHitRatio),
 			pct(sr.CMTHitRatio), pct(sr.ModelHitRatio),
 			f2(rw.WriteAmp), f2(sw.WriteAmp),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return Table{}, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -316,10 +372,13 @@ func Fig16(cfg Config, b Budget) (Table, error) {
 		Title:  "Fig 16: GC activity under FIO writes (count; mean GCs per simulated second)",
 		Header: []string{"FTL", "rand GCs", "rand GC/s", "seq GCs", "seq GC/s"},
 	}
-	for _, s := range Schemes() {
+	schemes := Schemes()
+	rows := make([][]string, len(schemes))
+	err := runCells(b, len(schemes), func(i int) error {
+		s := schemes[i]
 		f, err := newWarmed(s, cfg, b.WarmExtra)
 		if err != nil {
-			return Table{}, err
+			return err
 		}
 		rw := measureFIO(f, workload.RandWrite, b.Threads, 1, b.Requests)
 		randGC := f.Collector().GCCount
@@ -327,10 +386,15 @@ func Fig16(cfg Config, b Budget) (Table, error) {
 		sw := measureFIO(f, workload.SeqWrite, b.Threads, 8, b.Requests)
 		seqGC := f.Collector().GCCount
 		seqRate := rate(seqGC, sw.Makespan)
-		t.Rows = append(t.Rows, []string{
+		rows[i] = []string{
 			s.String(), fmt.Sprint(randGC), f2(randRate), fmt.Sprint(seqGC), f2(seqRate),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return Table{}, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -348,10 +412,13 @@ func Fig17(cfg Config, b Budget) (Table, error) {
 		Title:  "Fig 17: sorting+training share of LearnedFTL GC time (paper: <= 3.2%)",
 		Header: []string{"randwrite requests", "GC busy", "sort+train", "share"},
 	}
-	for _, mult := range []float64{0.5, 1, 2} {
+	mults := []float64{0.5, 1, 2}
+	rows := make([][]string, len(mults))
+	err := runCells(b, len(mults), func(i int) error {
+		mult := mults[i]
 		f, err := newWarmed(SchemeLearnedFTL, cfg, b.WarmExtra)
 		if err != nil {
-			return Table{}, err
+			return err
 		}
 		measureFIO(f, workload.RandWrite, b.Threads, 1, int(float64(b.Requests)*mult))
 		col := f.Collector()
@@ -359,12 +426,17 @@ func Fig17(cfg Config, b Budget) (Table, error) {
 		if col.GCBusyTime > 0 {
 			share = float64(col.SortTrainNS) / float64(col.GCBusyTime)
 		}
-		t.Rows = append(t.Rows, []string{
+		rows[i] = []string{
 			fmt.Sprint(int(float64(b.Requests) * mult)),
 			ms(col.GCBusyTime), ms(nand.Time(col.SortTrainNS)),
 			fmt.Sprintf("%.2f%%", share*100),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return Table{}, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -383,14 +455,6 @@ func Fig18(cfg Config, b Budget) (Table, error) {
 		r := measureFIO(f, workload.RandWrite, b.Threads, 1, b.Requests)
 		return r.WriteMBps, nil
 	}
-	with, err := runWrite(true)
-	if err != nil {
-		return Table{}, err
-	}
-	without, err := runWrite(false)
-	if err != nil {
-		return Table{}, err
-	}
 	runRead := func(predictCost nand.Time, p workload.Pattern, io int) (float64, error) {
 		opt := DefaultLearnedOptions()
 		opt.PredictCost = predictCost
@@ -402,22 +466,27 @@ func Fig18(cfg Config, b Budget) (Table, error) {
 		r := measureFIO(f, p, b.Threads, io, b.Requests)
 		return r.ReadMBps, nil
 	}
-	rrLD, err := runRead(DefaultLearnedOptions().PredictCost, workload.RandRead, 1)
+	// The six ablation runs are independent devices: one cell each.
+	cells := []func() (float64, error){
+		func() (float64, error) { return runWrite(true) },
+		func() (float64, error) { return runWrite(false) },
+		func() (float64, error) { return runRead(DefaultLearnedOptions().PredictCost, workload.RandRead, 1) },
+		func() (float64, error) { return runRead(0, workload.RandRead, 1) },
+		func() (float64, error) { return runRead(DefaultLearnedOptions().PredictCost, workload.SeqRead, 8) },
+		func() (float64, error) { return runRead(0, workload.SeqRead, 8) },
+	}
+	vals := make([]float64, len(cells))
+	err := runCells(b, len(cells), func(i int) error {
+		v, err := cells[i]()
+		vals[i] = v
+		return err
+	})
 	if err != nil {
 		return Table{}, err
 	}
-	rrIdeal, err := runRead(0, workload.RandRead, 1)
-	if err != nil {
-		return Table{}, err
-	}
-	srLD, err := runRead(DefaultLearnedOptions().PredictCost, workload.SeqRead, 8)
-	if err != nil {
-		return Table{}, err
-	}
-	srIdeal, err := runRead(0, workload.SeqRead, 8)
-	if err != nil {
-		return Table{}, err
-	}
+	with, without := vals[0], vals[1]
+	rrLD, rrIdeal := vals[2], vals[3]
+	srLD, srIdeal := vals[4], vals[5]
 	return Table{
 		Title:  "Fig 18: LearnedFTL overhead ablations",
 		Header: []string{"comparison", "LearnedFTL", "counterpart", "ratio"},
@@ -437,20 +506,28 @@ func Fig19(cfg Config, b Budget) (Table, error) {
 		Header: []string{"FTL", "readrandom MB/s", "readseq MB/s", "rr CMT", "rr model", "rs CMT", "rs model"},
 	}
 	lp := cfg.LogicalPages()
-	for _, s := range Schemes() {
+	schemes := Schemes()
+	rows := make([][]string, len(schemes))
+	err := runCells(b, len(schemes), func(i int) error {
+		s := schemes[i]
 		f, err := New(s, cfg)
 		if err != nil {
-			return Table{}, err
+			return err
 		}
 		sim.Warmed(f, workload.RocksDBFill(lp, 0.8, float64(b.WarmExtra), 3), 0)
 		rr := measure(f, workload.RocksDBReadRandom(lp, 0.8, 1, b.Requests, 5))
 		rs := measure(f, workload.RocksDBReadSeq(lp, 0.8, 1, b.Requests, 5))
-		t.Rows = append(t.Rows, []string{
+		rows[i] = []string{
 			s.String(), f1(rr.ReadMBps), f1(rs.ReadMBps),
 			pct(rr.CMTHitRatio), pct(rr.ModelHitRatio),
 			pct(rs.CMTHitRatio), pct(rs.ModelHitRatio),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return Table{}, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -460,19 +537,26 @@ func Fig20(cfg Config, b Budget) (Table, error) {
 		Title:  "Fig 20: Filebench throughput (MB/s read+write; Table I configs)",
 		Header: []string{"FTL", "fileserver", "webserver", "varmail"},
 	}
-	for _, s := range Schemes() {
+	schemes := Schemes()
+	rows := make([][]string, len(schemes))
+	err := runCells(b, len(schemes), func(i int) error {
+		s := schemes[i]
 		f, err := newWarmed(s, cfg, b.WarmExtra)
 		if err != nil {
-			return Table{}, err
+			return err
 		}
-		var cells []string
-		cells = append(cells, s.String())
+		row := []string{s.String()}
 		for _, k := range []workload.FilebenchKind{workload.Fileserver, workload.Webserver, workload.Varmail} {
 			r := filebenchRun(f, k, b)
-			cells = append(cells, f1(r.ReadMBps+r.WriteMBps))
+			row = append(row, f1(r.ReadMBps+r.WriteMBps))
 		}
-		t.Rows = append(t.Rows, cells)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return Table{}, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -494,23 +578,46 @@ func Fig21(cfg Config, b Budget) (Table, error) {
 		Title:  "Fig 21: P99 / P99.9 tail latency under real-world traces",
 		Header: []string{"trace", "TPFTL p99", "LeaFTL p99", "LearnedFTL p99", "ideal p99", "TPFTL p999", "LeaFTL p999", "LearnedFTL p999", "ideal p999"},
 	}
-	for _, spec := range workload.Traces() {
-		p99 := make([]string, 0, 4)
-		p999 := make([]string, 0, 4)
-		for _, s := range traceSchemes() {
-			f, err := newWarmed(s, cfg, b.WarmExtra)
-			if err != nil {
-				return Table{}, err
-			}
-			r := runTrace(f, spec, b)
-			p99 = append(p99, ms(r.P99))
-			p999 = append(p999, ms(r.P999))
+	specs := workload.Traces()
+	schemes := traceSchemes()
+	res, err := runTraceGrid(cfg, b, specs, schemes)
+	if err != nil {
+		return Table{}, err
+	}
+	for ti, spec := range specs {
+		row := []string{spec.Name}
+		for si := range schemes {
+			row = append(row, ms(res[ti][si].P99))
 		}
-		row := append([]string{spec.Name}, p99...)
-		row = append(row, p999...)
+		for si := range schemes {
+			row = append(row, ms(res[ti][si].P999))
+		}
 		t.Rows = append(t.Rows, row)
 	}
 	return t, nil
+}
+
+// runTraceGrid measures every (trace × scheme) combination as one sweep
+// cell with its own warmed device, returning reports indexed
+// [trace][scheme].
+func runTraceGrid(cfg Config, b Budget, specs []workload.TraceSpec, schemes []Scheme) ([][]stats.Report, error) {
+	res := make([][]stats.Report, len(specs))
+	for ti := range res {
+		res[ti] = make([]stats.Report, len(schemes))
+	}
+	err := runCells(b, len(specs)*len(schemes), func(i int) error {
+		ti, si := i/len(schemes), i%len(schemes)
+		f, err := newWarmed(schemes[si], cfg, b.WarmExtra)
+		if err != nil {
+			return err
+		}
+		res[ti][si] = runTrace(f, specs[ti], b)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
 }
 
 // Fig22 reproduces the energy comparison over the four traces, normalized
@@ -520,25 +627,23 @@ func Fig22(cfg Config, b Budget) (Table, error) {
 		Title:  "Fig 22: energy under real-world traces (normalized to TPFTL)",
 		Header: []string{"trace", "TPFTL", "LeaFTL", "LearnedFTL", "ideal"},
 	}
-	for _, spec := range workload.Traces() {
-		var base float64
-		cells := []string{spec.Name}
-		for i, s := range traceSchemes() {
-			f, err := newWarmed(s, cfg, b.WarmExtra)
-			if err != nil {
-				return Table{}, err
-			}
-			r := runTrace(f, spec, b)
-			if i == 0 {
-				base = r.EnergyMJ
-			}
+	specs := workload.Traces()
+	schemes := traceSchemes()
+	res, err := runTraceGrid(cfg, b, specs, schemes)
+	if err != nil {
+		return Table{}, err
+	}
+	for ti, spec := range specs {
+		base := res[ti][0].EnergyMJ
+		row := []string{spec.Name}
+		for si := range schemes {
 			if base > 0 {
-				cells = append(cells, f2(r.EnergyMJ/base))
+				row = append(row, f2(res[ti][si].EnergyMJ/base))
 			} else {
-				cells = append(cells, "n/a")
+				row = append(row, "n/a")
 			}
 		}
-		t.Rows = append(t.Rows, cells)
+		t.Rows = append(t.Rows, row)
 	}
 	return t, nil
 }
@@ -550,15 +655,23 @@ func Table2(cfg Config, b Budget) (Table, error) {
 		Title:  "Table II: synthetic trace generators vs published characteristics",
 		Header: []string{"trace", "#I/O (paper)", "#I/O (gen)", "avg KB (paper)", "avg KB (gen)", "read% (paper)", "read% (gen)"},
 	}
-	for _, spec := range workload.Traces() {
+	specs := workload.Traces()
+	rows := make([][]string, len(specs))
+	err := runCells(b, len(specs), func(i int) error {
+		spec := specs[i]
 		reqs, avgKB, readFrac := spec.Stats(cfg.LogicalPages(), b.TraceScale)
-		t.Rows = append(t.Rows, []string{
+		rows[i] = []string{
 			spec.Name,
 			fmt.Sprint(spec.Requests), fmt.Sprintf("%d (×%.2f)", reqs, b.TraceScale),
 			f1(spec.AvgKB), f1(avgKB),
 			pct(spec.ReadRatio), pct(readFrac),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return Table{}, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 

@@ -1,0 +1,3 @@
+module learnedftl
+
+go 1.22

@@ -245,3 +245,47 @@ func TestModelCacheResize(t *testing.T) {
 		t.Fatalf("Used after absent resize = %d", c.Used())
 	}
 }
+
+// TestModelCacheCapacityOneBudget keeps a budget that fits a single model:
+// each insert evicts the previous one through the node pool, but the cache
+// never evicts its last (MRU) model even when oversized.
+func TestModelCacheCapacityOneBudget(t *testing.T) {
+	c := newModelCache(16)
+	for tpn := 0; tpn < 20; tpn++ {
+		c.Insert(tpn, 16)
+		if c.Len() != 1 {
+			t.Fatalf("Len = %d, want 1", c.Len())
+		}
+		if !c.Contains(tpn) {
+			t.Fatalf("just-inserted tpn %d missing", tpn)
+		}
+		if tpn > 0 && c.Contains(tpn-1) {
+			t.Fatalf("tpn %d survived past budget", tpn-1)
+		}
+	}
+	// An oversized model stays resident (eviction stops at one entry).
+	c.Insert(99, 1000)
+	if !c.Contains(99) || c.Len() != 1 {
+		t.Fatalf("oversized MRU evicted: len=%d used=%d", c.Len(), c.Used())
+	}
+}
+
+// TestModelCachePoolRecycling cycles insert/evict far past the working set
+// and checks the node pool does not grow without bound.
+func TestModelCachePoolRecycling(t *testing.T) {
+	c := newModelCache(64) // fits 4 models of 16 bytes
+	for tpn := 0; tpn < 1000; tpn++ {
+		c.Insert(tpn, 16)
+	}
+	if got := len(c.nodes); got > 5 {
+		t.Fatalf("node pool grew to %d slots, want <= 5", got)
+	}
+	if c.Used() != 64 || c.Len() != 4 {
+		t.Fatalf("steady state: used=%d len=%d", c.Used(), c.Len())
+	}
+	// Re-insert of a resident tpn resizes in place, no growth.
+	c.Insert(999, 32)
+	if got := len(c.nodes); got > 5 {
+		t.Fatalf("resize grew pool to %d slots", got)
+	}
+}

@@ -1,6 +1,15 @@
 package leaftl
 
-import "container/list"
+// nilNode marks an absent link in the model cache's intrusive LRU list.
+const nilNode = int32(-1)
+
+// mcNode is one pooled LRU slot: a (tpn, size) pair plus intrusive
+// prev/next links (indices into modelCache.nodes, nilNode-terminated).
+type mcNode struct {
+	tpn        int
+	size       int
+	prev, next int32
+}
 
 // modelCache is LeaFTL's DRAM model cache: an LRU over translation-page
 // numbers whose byte budget equals the CMT budget of DFTL/TPFTL (paper
@@ -8,67 +17,124 @@ import "container/list"
 // overhead as the CMT"). Evicted models are clean (segments are persisted to
 // flash at flush time), so eviction is free; a miss costs one translation
 // read to load the segments back.
+//
+// Like mapping.CMT, the cache is a slice-backed intrusive LRU with a node
+// pool: Contains hits and Insert updates perform zero heap allocations, and
+// evicted nodes are recycled through a free list.
 type modelCache struct {
 	budget int
 	used   int
-	ll     *list.List // front = MRU; values are *mcEntry
-	idx    map[int]*list.Element
-}
-
-type mcEntry struct {
-	tpn  int
-	size int
+	nodes  []mcNode
+	idx    map[int]int32
+	head   int32 // most recently used, nilNode when empty
+	tail   int32 // least recently used, nilNode when empty
+	free   int32 // free-list head threaded through next
+	size   int
 }
 
 func newModelCache(budgetBytes int) *modelCache {
 	return &modelCache{
 		budget: budgetBytes,
-		ll:     list.New(),
-		idx:    make(map[int]*list.Element),
+		idx:    make(map[int]int32),
+		head:   nilNode,
+		tail:   nilNode,
+		free:   nilNode,
+	}
+}
+
+func (c *modelCache) alloc() int32 {
+	if c.free != nilNode {
+		n := c.free
+		c.free = c.nodes[n].next
+		return n
+	}
+	c.nodes = append(c.nodes, mcNode{})
+	return int32(len(c.nodes) - 1)
+}
+
+func (c *modelCache) unlink(n int32) {
+	nd := &c.nodes[n]
+	if nd.prev != nilNode {
+		c.nodes[nd.prev].next = nd.next
+	} else {
+		c.head = nd.next
+	}
+	if nd.next != nilNode {
+		c.nodes[nd.next].prev = nd.prev
+	} else {
+		c.tail = nd.prev
+	}
+}
+
+func (c *modelCache) pushFront(n int32) {
+	nd := &c.nodes[n]
+	nd.prev = nilNode
+	nd.next = c.head
+	if c.head != nilNode {
+		c.nodes[c.head].prev = n
+	}
+	c.head = n
+	if c.tail == nilNode {
+		c.tail = n
 	}
 }
 
 // Contains promotes and reports presence.
 func (c *modelCache) Contains(tpn int) bool {
-	el, ok := c.idx[tpn]
-	if ok {
-		c.ll.MoveToFront(el)
+	n, ok := c.idx[tpn]
+	if !ok {
+		return false
 	}
-	return ok
+	if c.head != n {
+		c.unlink(n)
+		c.pushFront(n)
+	}
+	return true
 }
 
 // Insert adds or resizes the model for tpn and evicts LRU models until the
 // budget holds.
 func (c *modelCache) Insert(tpn, size int) {
-	if el, ok := c.idx[tpn]; ok {
-		e := el.Value.(*mcEntry)
-		c.used += size - e.size
-		e.size = size
-		c.ll.MoveToFront(el)
+	if n, ok := c.idx[tpn]; ok {
+		nd := &c.nodes[n]
+		c.used += size - nd.size
+		nd.size = size
+		if c.head != n {
+			c.unlink(n)
+			c.pushFront(n)
+		}
 	} else {
-		c.idx[tpn] = c.ll.PushFront(&mcEntry{tpn: tpn, size: size})
+		n := c.alloc()
+		c.nodes[n].tpn = tpn
+		c.nodes[n].size = size
+		c.pushFront(n)
+		c.idx[tpn] = n
+		c.size++
 		c.used += size
 	}
-	for c.used > c.budget && c.ll.Len() > 1 {
-		back := c.ll.Back()
-		e := back.Value.(*mcEntry)
-		c.used -= e.size
-		delete(c.idx, e.tpn)
-		c.ll.Remove(back)
+	for c.used > c.budget && c.size > 1 {
+		n := c.tail
+		nd := &c.nodes[n]
+		c.used -= nd.size
+		delete(c.idx, nd.tpn)
+		c.unlink(n)
+		nd.next = c.free
+		c.free = n
+		c.size--
 	}
 }
 
 // Resize updates the stored size of tpn if cached (model grew at flush).
 func (c *modelCache) Resize(tpn, size int) {
-	if el, ok := c.idx[tpn]; ok {
-		e := el.Value.(*mcEntry)
-		c.used += size - e.size
-		e.size = size
+	if n, ok := c.idx[tpn]; ok {
+		nd := &c.nodes[n]
+		c.used += size - nd.size
+		nd.size = size
 	}
 }
 
 // Len returns the number of cached models.
-func (c *modelCache) Len() int { return c.ll.Len() }
+func (c *modelCache) Len() int { return c.size }
 
 // Used returns the bytes currently charged.
 func (c *modelCache) Used() int { return c.used }

@@ -97,22 +97,31 @@ func (t *LSMT) CompactShadowed() int {
 }
 
 // shadowed reports whether every LPN of s is covered by levels above `below`.
+// Instead of probing each LPN of the segment, it walks the covered interval
+// greedily: at each uncovered position it binary-searches every upper level
+// (sorted by Segment.S) for the segment containing that position and jumps
+// to the farthest covered end, so the check costs O(k · levels · log n) for
+// k covering segments rather than O(L · levels · log n) for L spanned LPNs.
 func (t *LSMT) shadowed(s Segment, below int) bool {
-	lo := s.S
+	pos := s.S
 	hi := s.S + int64(s.L)
-	for lpn := lo; lpn < hi; lpn++ {
-		covered := false
+	for pos < hi {
+		next := pos
 		for li := 0; li < below; li++ {
 			lv := t.levels[li]
-			i := sort.Search(len(lv), func(k int) bool { return lv[k].S+int64(lv[k].L) > lpn })
-			if i < len(lv) && lv[i].Contains(lpn) {
-				covered = true
-				break
+			// Last segment with S <= pos is the only one that can cover pos
+			// (segments within a level are sorted and non-overlapping).
+			i := sort.Search(len(lv), func(k int) bool { return lv[k].S > pos }) - 1
+			if i >= 0 {
+				if end := lv[i].S + int64(lv[i].L); end > next {
+					next = end
+				}
 			}
 		}
-		if !covered {
-			return false
+		if next == pos {
+			return false // pos is covered by no upper level
 		}
+		pos = next
 	}
 	return true
 }

@@ -59,8 +59,8 @@ func FitExact(pts []Point) []Piece {
 	return out
 }
 
-// pieceSpan returns, for piece index i of pieces fitted over pts, the number
-// of points it covers. Helper for coverage-based piece selection.
+// pieceCoverage returns, for each piece of pieces fitted over pts, the
+// number of points it covers. Helper for coverage-based piece selection.
 func pieceCoverage(pieces []Piece, pts []Point) []int {
 	cov := make([]int, len(pieces))
 	pi := 0

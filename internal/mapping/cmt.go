@@ -5,8 +5,6 @@
 package mapping
 
 import (
-	"container/list"
-
 	"learnedftl/internal/nand"
 )
 
@@ -17,53 +15,124 @@ type Entry struct {
 	Dirty bool
 }
 
+// nilNode marks an absent link in the intrusive LRU list.
+const nilNode = int32(-1)
+
+// cmtNode is one pooled LRU slot: an Entry plus intrusive prev/next links
+// into the recency list (indices into CMT.nodes, nilNode-terminated).
+type cmtNode struct {
+	entry      Entry
+	prev, next int32
+}
+
 // CMT is the cached mapping table of DFTL (Gupta et al., ASPLOS'09): an LRU
 // cache over individual page mappings. TPFTL and LearnedFTL reuse it with
 // different capacities and write-back batching policies.
+//
+// The cache is a slice-backed intrusive LRU: nodes live in a preallocated
+// pool and the recency list is threaded through pool indices, so the hot
+// paths (Lookup hit, Insert update, EvictLRU + re-Insert) perform zero heap
+// allocations. Only a cold miss that grows the index map can allocate.
 type CMT struct {
 	cap   int
-	ll    *list.List // front = most recent
-	index map[int64]*list.Element
+	nodes []cmtNode
+	index map[int64]int32
+	head  int32 // most recently used, nilNode when empty
+	tail  int32 // least recently used, nilNode when empty
+	free  int32 // free-list head threaded through next
+	size  int
 	dirty int
 }
 
 // NewCMT returns a CMT holding at most capacity entries. A non-positive
 // capacity yields a cache that stores nothing (every lookup misses).
 func NewCMT(capacity int) *CMT {
-	return &CMT{
-		cap:   capacity,
-		ll:    list.New(),
-		index: make(map[int64]*list.Element),
+	c := &CMT{
+		cap:  capacity,
+		head: nilNode,
+		tail: nilNode,
+		free: nilNode,
 	}
+	if capacity > 0 {
+		// Callers may overshoot capacity by one entry before draining
+		// NeedsEviction, hence the +1 slack in the pool and index.
+		c.nodes = make([]cmtNode, 0, capacity+1)
+		c.index = make(map[int64]int32, capacity+1)
+	} else {
+		c.index = make(map[int64]int32)
+	}
+	return c
 }
 
 // Cap returns the configured capacity in entries.
 func (c *CMT) Cap() int { return c.cap }
 
 // Len returns the number of cached entries.
-func (c *CMT) Len() int { return c.ll.Len() }
+func (c *CMT) Len() int { return c.size }
 
 // DirtyLen returns the number of dirty entries.
 func (c *CMT) DirtyLen() int { return c.dirty }
 
+// alloc takes a node off the free list, growing the pool when exhausted.
+func (c *CMT) alloc() int32 {
+	if c.free != nilNode {
+		n := c.free
+		c.free = c.nodes[n].next
+		return n
+	}
+	c.nodes = append(c.nodes, cmtNode{})
+	return int32(len(c.nodes) - 1)
+}
+
+// unlink removes node n from the recency list (it stays in the pool).
+func (c *CMT) unlink(n int32) {
+	nd := &c.nodes[n]
+	if nd.prev != nilNode {
+		c.nodes[nd.prev].next = nd.next
+	} else {
+		c.head = nd.next
+	}
+	if nd.next != nilNode {
+		c.nodes[nd.next].prev = nd.prev
+	} else {
+		c.tail = nd.prev
+	}
+}
+
+// pushFront links node n as the most recently used.
+func (c *CMT) pushFront(n int32) {
+	nd := &c.nodes[n]
+	nd.prev = nilNode
+	nd.next = c.head
+	if c.head != nilNode {
+		c.nodes[c.head].prev = n
+	}
+	c.head = n
+	if c.tail == nilNode {
+		c.tail = n
+	}
+}
+
 // Lookup returns the cached mapping for lpn and promotes it to MRU.
 func (c *CMT) Lookup(lpn int64) (nand.PPN, bool) {
-	el, ok := c.index[lpn]
+	n, ok := c.index[lpn]
 	if !ok {
 		return nand.InvalidPPN, false
 	}
-	c.ll.MoveToFront(el)
-	return el.Value.(*Entry).PPN, true
+	if c.head != n {
+		c.unlink(n)
+		c.pushFront(n)
+	}
+	return c.nodes[n].entry.PPN, true
 }
 
 // Peek returns the cached mapping without touching recency.
 func (c *CMT) Peek(lpn int64) (Entry, bool) {
-	el, ok := c.index[lpn]
+	n, ok := c.index[lpn]
 	if !ok {
 		return Entry{}, false
 	}
-	e := *el.Value.(*Entry)
-	return e, true
+	return c.nodes[n].entry, true
 }
 
 // Contains reports whether lpn is cached, without touching recency.
@@ -79,8 +148,8 @@ func (c *CMT) Insert(lpn int64, ppn nand.PPN, dirty bool) {
 	if c.cap <= 0 {
 		return
 	}
-	if el, ok := c.index[lpn]; ok {
-		e := el.Value.(*Entry)
+	if n, ok := c.index[lpn]; ok {
+		e := &c.nodes[n].entry
 		if e.Dirty != dirty {
 			if dirty {
 				c.dirty++
@@ -90,54 +159,61 @@ func (c *CMT) Insert(lpn int64, ppn nand.PPN, dirty bool) {
 		}
 		e.PPN = ppn
 		e.Dirty = dirty
-		c.ll.MoveToFront(el)
+		if c.head != n {
+			c.unlink(n)
+			c.pushFront(n)
+		}
 		return
 	}
-	e := &Entry{LPN: lpn, PPN: ppn, Dirty: dirty}
-	c.index[lpn] = c.ll.PushFront(e)
+	n := c.alloc()
+	c.nodes[n].entry = Entry{LPN: lpn, PPN: ppn, Dirty: dirty}
+	c.pushFront(n)
+	c.index[lpn] = n
+	c.size++
 	if dirty {
 		c.dirty++
 	}
 }
 
 // NeedsEviction reports whether the cache is over capacity.
-func (c *CMT) NeedsEviction() bool { return c.ll.Len() > c.cap }
+func (c *CMT) NeedsEviction() bool { return c.size > c.cap }
 
 // EvictLRU removes and returns the least recently used entry.
 func (c *CMT) EvictLRU() (Entry, bool) {
-	el := c.ll.Back()
-	if el == nil {
+	if c.tail == nilNode {
 		return Entry{}, false
 	}
-	e := *el.Value.(*Entry)
-	c.remove(el)
-	return e, true
+	return c.removeNode(c.tail), true
 }
 
 // Remove drops lpn from the cache if present, returning the removed entry.
 func (c *CMT) Remove(lpn int64) (Entry, bool) {
-	el, ok := c.index[lpn]
+	n, ok := c.index[lpn]
 	if !ok {
 		return Entry{}, false
 	}
-	e := *el.Value.(*Entry)
-	c.remove(el)
-	return e, true
+	return c.removeNode(n), true
 }
 
-func (c *CMT) remove(el *list.Element) {
-	e := el.Value.(*Entry)
+// removeNode unlinks n, returns its entry to the caller and the node to the
+// free list.
+func (c *CMT) removeNode(n int32) Entry {
+	e := c.nodes[n].entry
 	if e.Dirty {
 		c.dirty--
 	}
+	c.unlink(n)
 	delete(c.index, e.LPN)
-	c.ll.Remove(el)
+	c.nodes[n].next = c.free
+	c.free = n
+	c.size--
+	return e
 }
 
 // MarkClean clears the dirty flag of lpn if cached.
 func (c *CMT) MarkClean(lpn int64) {
-	if el, ok := c.index[lpn]; ok {
-		e := el.Value.(*Entry)
+	if n, ok := c.index[lpn]; ok {
+		e := &c.nodes[n].entry
 		if e.Dirty {
 			e.Dirty = false
 			c.dirty--
@@ -151,10 +227,9 @@ func (c *CMT) MarkClean(lpn int64) {
 func (c *CMT) DirtyInRange(lo, hi int64) []Entry {
 	var out []Entry
 	for lpn := lo; lpn < hi; lpn++ {
-		if el, ok := c.index[lpn]; ok {
-			e := el.Value.(*Entry)
-			if e.Dirty {
-				out = append(out, *e)
+		if n, ok := c.index[lpn]; ok {
+			if e := c.nodes[n].entry; e.Dirty {
+				out = append(out, e)
 			}
 		}
 	}
@@ -164,10 +239,10 @@ func (c *CMT) DirtyInRange(lo, hi int64) []Entry {
 // UpdatePPN rewrites the PPN of a cached entry without recency or dirty
 // changes (GC relocation fix-up). Returns false if lpn is not cached.
 func (c *CMT) UpdatePPN(lpn int64, ppn nand.PPN) bool {
-	el, ok := c.index[lpn]
+	n, ok := c.index[lpn]
 	if !ok {
 		return false
 	}
-	el.Value.(*Entry).PPN = ppn
+	c.nodes[n].entry.PPN = ppn
 	return true
 }

@@ -220,3 +220,79 @@ func TestTPNOfAndRangeOf(t *testing.T) {
 		}
 	}
 }
+
+// TestCMTCapacityOne exercises the smallest useful cache: every insert of a
+// new LPN pushes the previous one over capacity and through the pool.
+func TestCMTCapacityOne(t *testing.T) {
+	c := NewCMT(1)
+	for i := int64(0); i < 10; i++ {
+		c.Insert(i, nand.PPN(i*10), i%2 == 0)
+		if c.NeedsEviction() {
+			e, ok := c.EvictLRU()
+			if !ok {
+				t.Fatal("EvictLRU failed while over capacity")
+			}
+			if e.LPN != i-1 {
+				t.Fatalf("evicted LPN %d, want %d", e.LPN, i-1)
+			}
+		}
+		if c.Len() != 1 {
+			t.Fatalf("Len = %d, want 1", c.Len())
+		}
+		if p, ok := c.Lookup(i); !ok || p != nand.PPN(i*10) {
+			t.Fatalf("Lookup(%d) = %d,%v", i, p, ok)
+		}
+	}
+	if c.DirtyLen() != 0 {
+		t.Fatalf("DirtyLen = %d after evicting all dirty entries", c.DirtyLen())
+	}
+}
+
+// TestCMTPoolRecycling drives eviction and re-insert cycles well past the
+// pool size and checks the node pool is reused instead of growing: the
+// backing slice must never exceed capacity+1 slots.
+func TestCMTPoolRecycling(t *testing.T) {
+	const capn = 8
+	c := NewCMT(capn)
+	for round := 0; round < 50; round++ {
+		for i := 0; i < capn+1; i++ {
+			lpn := int64(round*(capn+1) + i)
+			c.Insert(lpn, nand.PPN(lpn), round%2 == 0)
+			for c.NeedsEviction() {
+				if _, ok := c.EvictLRU(); !ok {
+					t.Fatal("EvictLRU failed")
+				}
+			}
+		}
+	}
+	if got := len(c.nodes); got > capn+1 {
+		t.Fatalf("node pool grew to %d slots, want <= %d", got, capn+1)
+	}
+	if c.Len() != capn {
+		t.Fatalf("Len = %d, want %d", c.Len(), capn)
+	}
+}
+
+// TestCMTEvictReinsertSameLPN checks an evicted LPN can come back cleanly
+// (the demand-paging pattern: miss, fetch, insert).
+func TestCMTEvictReinsertSameLPN(t *testing.T) {
+	c := NewCMT(2)
+	c.Insert(1, 10, true)
+	c.Insert(2, 20, false)
+	c.Insert(3, 30, false)
+	e, ok := c.EvictLRU()
+	if !ok || e.LPN != 1 || !e.Dirty {
+		t.Fatalf("evicted %+v, want dirty LPN 1", e)
+	}
+	c.Insert(1, 11, false)
+	if p, ok := c.Lookup(1); !ok || p != 11 {
+		t.Fatalf("re-inserted Lookup(1) = %d,%v", p, ok)
+	}
+	if c.DirtyLen() != 0 {
+		t.Fatalf("DirtyLen = %d, want 0 (re-insert was clean)", c.DirtyLen())
+	}
+	// Recency after re-insert: 2 is now LRU.
+	if e, _ := c.EvictLRU(); e.LPN != 2 {
+		t.Fatalf("evicted LPN %d, want 2", e.LPN)
+	}
+}

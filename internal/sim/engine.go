@@ -45,40 +45,28 @@ func (r Result) Makespan() nand.Time { return r.End - r.Start }
 //
 // The engine is deterministic: among ready threads the lowest-indexed one
 // issues first, and virtual time advances only through flash-op completion.
+// Thread selection uses an index min-heap keyed by (ready time, thread
+// index), so a T-thread closed loop schedules each request in O(log T)
+// instead of the O(T) linear scan a naive implementation would need.
 func Run(f ftl.FTL, gens []Generator, maxRequests int64) Result {
 	start := f.Flash().MaxChipBusy()
-	ready := make([]nand.Time, len(gens))
-	alive := make([]bool, len(gens))
-	for i := range ready {
-		ready[i] = start
-		alive[i] = len(gens) > 0
-	}
+	h := newThreadHeap(len(gens), start)
 	col := f.Collector()
 	var issued int64
 	end := start
-	for {
-		// Pick the alive thread with the earliest ready time.
-		th := -1
-		for i := range gens {
-			if alive[i] && (th == -1 || ready[i] < ready[th]) {
-				th = i
-			}
-		}
-		if th == -1 {
-			break
-		}
+	for h.len() > 0 {
 		if maxRequests > 0 && issued >= maxRequests {
 			break
 		}
+		th, now := h.pop()
 		req, ok := gens[th].Next()
 		if !ok {
-			alive[th] = false
+			// Thread exhausted: retire it by not re-inserting.
 			continue
 		}
 		if req.Pages <= 0 {
 			req.Pages = 1
 		}
-		now := ready[th]
 		var done nand.Time
 		if req.Write {
 			done = f.WritePages(req.LPN, req.Pages, now)
@@ -90,7 +78,7 @@ func Run(f ftl.FTL, gens []Generator, maxRequests int64) Result {
 		if done < now {
 			done = now
 		}
-		ready[th] = done
+		h.push(th, done)
 		if done > end {
 			end = done
 		}

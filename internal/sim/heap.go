@@ -1,0 +1,89 @@
+package sim
+
+import "learnedftl/internal/nand"
+
+// threadHeap is an index min-heap over closed-loop threads, ordered by
+// (ready time, thread index). The secondary index ordering reproduces the
+// deterministic tie-break of the original linear scan: among threads ready
+// at the same virtual time, the lowest-indexed one issues first.
+//
+// The heap is slice-backed and fixed-capacity (one slot per thread), so a
+// full Run schedules with zero heap allocations after construction.
+type threadHeap struct {
+	at  []nand.Time // ready time per heap slot
+	idx []int32     // thread index per heap slot
+}
+
+// newThreadHeap returns a heap seeded with threads 0..n-1 all ready at t.
+// Equal keys make the slice heap-ordered as built, so no sifting is needed.
+func newThreadHeap(n int, t nand.Time) *threadHeap {
+	h := &threadHeap{at: make([]nand.Time, n), idx: make([]int32, n)}
+	for i := 0; i < n; i++ {
+		h.at[i] = t
+		h.idx[i] = int32(i)
+	}
+	return h
+}
+
+func (h *threadHeap) len() int { return len(h.at) }
+
+// less orders slot a before slot b by (time, thread index).
+func (h *threadHeap) less(a, b int) bool {
+	if h.at[a] != h.at[b] {
+		return h.at[a] < h.at[b]
+	}
+	return h.idx[a] < h.idx[b]
+}
+
+func (h *threadHeap) swap(a, b int) {
+	h.at[a], h.at[b] = h.at[b], h.at[a]
+	h.idx[a], h.idx[b] = h.idx[b], h.idx[a]
+}
+
+// pop removes and returns the earliest-ready thread.
+func (h *threadHeap) pop() (thread int, ready nand.Time) {
+	thread, ready = int(h.idx[0]), h.at[0]
+	last := len(h.at) - 1
+	h.swap(0, last)
+	h.at = h.at[:last]
+	h.idx = h.idx[:last]
+	h.siftDown(0)
+	return thread, ready
+}
+
+// push re-inserts a thread that becomes ready at t.
+func (h *threadHeap) push(thread int, t nand.Time) {
+	h.at = append(h.at, t)
+	h.idx = append(h.idx, int32(thread))
+	h.siftUp(len(h.at) - 1)
+}
+
+func (h *threadHeap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			return
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *threadHeap) siftDown(i int) {
+	n := len(h.at)
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && h.less(l, min) {
+			min = l
+		}
+		if r < n && h.less(r, min) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		h.swap(i, min)
+		i = min
+	}
+}

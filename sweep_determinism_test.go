@@ -1,0 +1,58 @@
+package learnedftl
+
+import (
+	"reflect"
+	"testing"
+)
+
+// sweepTestBudget is small enough that the determinism comparison runs in a
+// few seconds even on one core.
+func sweepTestBudget(workers int) Budget {
+	return Budget{Requests: 2000, WarmExtra: 1, TraceScale: 0.002, Threads: 16, Workers: workers}
+}
+
+// TestExperimentsParallelDeterminism is the correctness bar of the sweep
+// engine: running an experiment's cells across a worker pool must produce a
+// table byte-identical to the serial run. fig2 (per-thread-count cells),
+// fig6 (per-scheme cells with post-hoc normalization) and table2 (pure
+// computation) cover the three assembly shapes.
+func TestExperimentsParallelDeterminism(t *testing.T) {
+	cfg := TinyConfig()
+	for _, id := range []string{"fig2", "fig6", "table2"} {
+		run := Experiments()[id]
+		serial, err := run(cfg, sweepTestBudget(1))
+		if err != nil {
+			t.Fatalf("%s serial: %v", id, err)
+		}
+		parallel, err := run(cfg, sweepTestBudget(8))
+		if err != nil {
+			t.Fatalf("%s parallel: %v", id, err)
+		}
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Fatalf("%s diverged:\nserial:\n%s\nparallel:\n%s", id, serial, parallel)
+		}
+		if serial.String() != parallel.String() {
+			t.Fatalf("%s rendering diverged", id)
+		}
+	}
+}
+
+// TestRunExperimentsOrderAndErrors covers the api.go sweep entry point.
+func TestRunExperimentsOrderAndErrors(t *testing.T) {
+	cfg := TinyConfig()
+	res, err := RunExperiments([]string{"table2", "fig15"}, cfg, sweepTestBudget(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 || res[0].Experiment != "table2" || res[1].Experiment != "fig15" {
+		t.Fatalf("results out of order: %+v", res)
+	}
+	for _, r := range res {
+		if r.Seconds < 0 || len(r.Table.Rows) == 0 {
+			t.Fatalf("degenerate result: %+v", r)
+		}
+	}
+	if _, err := RunExperiments([]string{"nope"}, cfg, sweepTestBudget(1)); err == nil {
+		t.Fatal("unknown id did not error")
+	}
+}
