@@ -25,6 +25,7 @@ import (
 	"learnedftl/internal/ftl"
 	"learnedftl/internal/leaftl"
 	"learnedftl/internal/nand"
+	"learnedftl/internal/sim"
 	"learnedftl/internal/sweep"
 	"learnedftl/internal/tpftl"
 )
@@ -37,7 +38,39 @@ type (
 	FTL = ftl.FTL
 	// Options are LearnedFTL's ablation switches.
 	Options = core.Options
+	// Stream is one rate-tagged open-loop request source for RunOpenLoop.
+	Stream = sim.Stream
+	// ArrivalKind selects an open-loop stream's arrival process.
+	ArrivalKind = sim.ArrivalKind
+	// RunResult summarizes one engine run (virtual start/end, requests).
+	RunResult = sim.Result
 )
+
+// Open-loop arrival processes (see internal/sim).
+const (
+	// ArrivalUnbounded paces a stream by device back-pressure only; it
+	// schedules identically to a closed-loop thread.
+	ArrivalUnbounded = sim.ArrivalUnbounded
+	// ArrivalFixed spaces arrivals by exactly 1/Rate virtual seconds.
+	ArrivalFixed = sim.ArrivalFixed
+	// ArrivalPoisson draws seeded exponential interarrival gaps.
+	ArrivalPoisson = sim.ArrivalPoisson
+)
+
+// ParseArrival maps "poisson", "fixed" or "unbounded" to an ArrivalKind,
+// reporting whether the name was recognized ("" parses as Poisson, the
+// open-loop default).
+func ParseArrival(s string) (ArrivalKind, bool) { return sim.ParseArrival(s) }
+
+// RunOpenLoop replays rate-controlled open-loop streams against a device
+// until the streams are exhausted or maxRequests have been issued (0 =
+// unlimited). Per-request latency lands in the device's collector
+// decomposed into queue wait + device service, tagged per stream; build a
+// stats.Report (or read the collector) afterwards for percentiles. The
+// run is deterministic given the streams' seeds.
+func RunOpenLoop(f FTL, streams []Stream, maxRequests int64) RunResult {
+	return sim.RunOpen(f, streams, maxRequests)
+}
 
 // Scheme identifies one of the reproduced FTL designs.
 type Scheme int

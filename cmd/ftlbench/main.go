@@ -8,12 +8,22 @@
 //	ftlbench -exp fig21 -scale paper    # paper-scale run (slow)
 //	ftlbench -exp all -parallel         # fan cells across all CPU cores
 //	ftlbench -exp all -parallel -json   # also write BENCH_<timestamp>.json
+//	ftlbench -exp loadsweep             # open-loop latency vs offered IOPS
+//	ftlbench -exp tenantmix -rate 50000 # two tenants at 50k IOPS combined
 //	ftlbench -list                      # available experiment ids
 //
 // -parallel fans the independent (scheme × workload) cells of each
 // experiment across GOMAXPROCS worker goroutines. Every cell builds its own
 // deterministically-seeded device, so the tables are byte-identical to a
 // serial run — only the wall-clock changes.
+//
+// The open-loop experiments (loadsweep, tenantmix) drive the device with
+// rate-controlled arrivals instead of the closed-loop psync model.
+// -rate fixes the total offered IOPS (0 derives a ladder / operating point
+// from the device's ideal random-read capability), -arrival picks the
+// arrival process (poisson or fixed), and -tenant-share splits tenantmix's
+// offered load between the WebSearch read tenant and the Systor write
+// tenant. All arrivals are seeded, so the tables stay deterministic.
 //
 // -json additionally writes the results (per-experiment tables plus
 // wall-clock seconds, device and budget metadata) to BENCH_<timestamp>.json
@@ -48,8 +58,20 @@ func main() {
 		list     = flag.Bool("list", false, "list experiment ids and exit")
 		parallel = flag.Bool("parallel", false, "fan experiment cells across GOMAXPROCS workers (same tables, less wall-clock)")
 		jsonOut  = flag.Bool("json", false, "write results to BENCH_<timestamp>.json")
+
+		rate        = flag.Float64("rate", 0, "open-loop offered IOPS (0 = derive ladder/operating point from the device)")
+		arrival     = flag.String("arrival", "poisson", "open-loop arrival process: poisson | fixed")
+		tenantShare = flag.Float64("tenant-share", 0, "tenantmix: fraction of offered load for the read tenant (0 = default 0.7)")
 	)
 	flag.Parse()
+
+	// "unbounded" exists as an engine ArrivalKind but makes the open-loop
+	// experiments' offered-IOPS axis meaningless, so the CLI only accepts
+	// the rate-controlled processes.
+	if k, ok := learnedftl.ParseArrival(*arrival); !ok || k == learnedftl.ArrivalUnbounded {
+		fmt.Fprintf(os.Stderr, "unknown arrival process %q (want poisson or fixed)\n", *arrival)
+		os.Exit(2)
+	}
 
 	if *list {
 		fmt.Println(strings.Join(learnedftl.ExperimentIDs(), "\n"))
@@ -73,6 +95,9 @@ func main() {
 	if *parallel {
 		budget.Workers = learnedftl.AutoWorkers()
 	}
+	budget.OfferedIOPS = *rate
+	budget.Arrival = *arrival
+	budget.ReadTenantShare = *tenantShare
 	fmt.Printf("device: %s  logical pages: %d  budget: %d requests/run  workers: %d\n\n",
 		cfg.Geometry, cfg.LogicalPages(), budget.Requests, max(1, budget.Workers))
 

@@ -33,6 +33,31 @@ type Budget struct {
 	// byte-identical tables; <= 1 runs serially. Use AutoWorkers() to
 	// saturate the machine.
 	Workers int `json:"workers"`
+
+	// Open-loop knobs (loadsweep / tenantmix). OfferedIOPS fixes the
+	// total offered arrival rate in requests per virtual second; 0 derives
+	// loadsweep's rate ladder and tenantmix's operating point from the
+	// device's ideal random-read capability at the run's concurrency.
+	OfferedIOPS float64 `json:"offered_iops,omitempty"`
+	// Arrival selects the open-loop arrival process: "poisson" (default)
+	// or "fixed".
+	Arrival string `json:"arrival,omitempty"`
+	// ReadTenantShare splits tenantmix's offered load between the
+	// WebSearch read tenant and the Systor write tenant (default 0.7).
+	ReadTenantShare float64 `json:"read_tenant_share,omitempty"`
+}
+
+// openLoopKind resolves and validates the budget's arrival process for the
+// open-loop experiments, which need a rate-controlled process: a typo'd
+// Arrival string must error, not silently fall back to Poisson, and
+// "unbounded" would make the offered-IOPS axis meaningless.
+func (b Budget) openLoopKind() (sim.ArrivalKind, error) {
+	k, ok := sim.ParseArrival(b.Arrival)
+	if !ok || k == sim.ArrivalUnbounded {
+		return 0, fmt.Errorf("learnedftl: open-loop experiments need arrival %q or %q, got %q",
+			sim.ArrivalPoisson, sim.ArrivalFixed, b.Arrival)
+	}
+	return k, nil
 }
 
 // runCells executes n independent experiment cells under the budget's
@@ -88,11 +113,26 @@ func (t Table) String() string {
 	return b.String()
 }
 
+func f0(v float64) string  { return fmt.Sprintf("%.0f", v) }
 func f1(v float64) string  { return fmt.Sprintf("%.1f", v) }
 func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
 func pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
 func ms(t nand.Time) string {
 	return fmt.Sprintf("%.2fms", float64(t)/float64(nand.Millisecond))
+}
+
+// lat renders a latency with a unit scaled to its magnitude, so µs-scale
+// service times and second-scale saturation queues stay readable in one
+// column.
+func lat(t nand.Time) string {
+	switch {
+	case t < nand.Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(t)/float64(nand.Microsecond))
+	case t < nand.Second:
+		return fmt.Sprintf("%.2fms", float64(t)/float64(nand.Millisecond))
+	default:
+		return fmt.Sprintf("%.2fs", float64(t)/float64(nand.Second))
+	}
 }
 
 // newWarmed builds a scheme's device and brings it to the paper's steady
@@ -134,6 +174,166 @@ func measureFIO(f FTL, p workload.Pattern, threads, ioPages, total int) stats.Re
 	}
 	gens := workload.FIO(p, f.Config().LogicalPages(), ioPages, threads, per, 7)
 	return measure(f, gens)
+}
+
+// measureOpen runs open-loop streams on a (typically warmed) device and
+// summarizes, including the queue-wait decomposition and per-tenant
+// breakdown RunOpen records.
+func measureOpen(f FTL, streams []sim.Stream) stats.Report {
+	f.Collector().Reset()
+	f.Flash().ResetCounters()
+	res := sim.RunOpen(f, streams, 0)
+	return stats.BuildReport(f.Name(), f.Collector(), f.Flash().Counters(),
+		res.Makespan(), f.Config().Geometry.PageSize, f.Config().Energy)
+}
+
+// idealRandReadIOPS anchors the open-loop experiments' offered load: the
+// 4KB random-read rate a perfectly striped device would sustain at the
+// run's concurrency (one outstanding request per stream, capped by the
+// chip count). Real schemes saturate below it — translation reads and GC
+// eat into the budget — which is exactly the knee the load sweep exposes.
+func idealRandReadIOPS(cfg Config, streams int) float64 {
+	conc := streams
+	if ch := cfg.Geometry.Chips(); conc > ch {
+		conc = ch
+	}
+	if conc < 1 {
+		conc = 1
+	}
+	return float64(conc) * float64(nand.Second) / float64(cfg.Timing.ReadLatency)
+}
+
+// loadSweepFractions is the offered-load ladder of the loadsweep
+// experiment, as fractions of idealRandReadIOPS. It brackets every
+// scheme's saturation knee: the last rungs exceed what even the ideal FTL
+// sustains, so the hockey stick is always visible.
+var loadSweepFractions = []float64{0.10, 0.20, 0.35, 0.50, 0.65, 0.80, 1.00, 1.20}
+
+// LoadSweep measures the latency-vs-offered-load curve of every scheme:
+// open-loop random reads at a ladder of offered IOPS, reporting achieved
+// throughput, mean/P99/P99.9 total latency and the share of latency spent
+// in the arrival queue. Each (scheme × rate) pair is one hermetic sweep
+// cell. Budget.OfferedIOPS > 0 narrows the ladder to that single rate;
+// Budget.Arrival picks the arrival process (Poisson by default).
+func LoadSweep(cfg Config, b Budget) (Table, error) {
+	threads := b.Threads
+	if threads < 1 {
+		threads = 1
+	}
+	rates := make([]float64, 0, len(loadSweepFractions))
+	if b.OfferedIOPS > 0 {
+		rates = append(rates, b.OfferedIOPS)
+	} else {
+		base := idealRandReadIOPS(cfg, threads)
+		for _, fr := range loadSweepFractions {
+			rates = append(rates, fr*base)
+		}
+	}
+	kind, err := b.openLoopKind()
+	if err != nil {
+		return Table{}, err
+	}
+	schemes := Schemes()
+	rows := make([][]string, len(schemes)*len(rates))
+	err = runCells(b, len(rows), func(i int) error {
+		si, ri := i/len(rates), i%len(rates)
+		f, err := newWarmed(schemes[si], cfg, b.WarmExtra)
+		if err != nil {
+			return err
+		}
+		per := b.Requests / threads
+		if per < 1 {
+			per = 1
+		}
+		streams := workload.OpenFIO("randread", workload.RandRead,
+			f.Config().LogicalPages(), 1, threads, per, kind, rates[ri], 1117)
+		r := measureOpen(f, streams)
+		rows[i] = []string{
+			schemes[si].String(), f0(rates[ri]), f0(r.IOPS),
+			lat(r.MeanLat), lat(r.P99), lat(r.P999), pct(r.WaitShare),
+		}
+		return nil
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	return Table{
+		Title:  "Load sweep: open-loop randread latency vs offered IOPS (wait = share of latency spent queued)",
+		Header: []string{"FTL", "offered IOPS", "achieved IOPS", "mean", "p99", "p99.9", "wait"},
+		Rows:   rows,
+	}, nil
+}
+
+// TenantMixExp measures two rate-controlled tenants sharing one device —
+// WebSearch-like reads and Systor-like write-heavy traffic — reporting
+// per-tenant mean/P99/P99.9 latency and queue-wait share for every
+// scheme. Budget.OfferedIOPS overrides the combined operating point
+// (default: a quarter of the device's ideal page rate, converted to a
+// request rate through the mix's mean request size) and
+// Budget.ReadTenantShare splits it (default 70% to the read tenant).
+func TenantMixExp(cfg Config, b Budget) (Table, error) {
+	kind, err := b.openLoopKind()
+	if err != nil {
+		return Table{}, err
+	}
+	share := b.ReadTenantShare
+	if share == 0 {
+		share = 0.7
+	} else if share < 0 || share >= 1 {
+		return Table{}, fmt.Errorf("learnedftl: tenantmix read-tenant share %v out of (0, 1)", share)
+	}
+	total := b.OfferedIOPS
+	if total <= 0 {
+		// Default operating point: a quarter of the device's ideal page
+		// rate, converted to a request rate via the mix's mean request
+		// size. That lands below the slowest scheme's knee, so the table
+		// differentiates tenants by moderate queueing rather than placing
+		// every scheme in deep overload.
+		wsPages := workload.WebSearch1.AvgKB * 1024 / float64(cfg.Geometry.PageSize)
+		sysPages := workload.Systor17.AvgKB * 1024 / float64(cfg.Geometry.PageSize)
+		mixPages := share*wsPages + (1-share)*sysPages
+		total = 0.25 * idealRandReadIOPS(cfg, b.Threads) / mixPages
+	}
+	spt := b.Threads / 2
+	if spt < 1 {
+		spt = 1
+	}
+	perTenant := b.Requests / 2
+	if perTenant < spt {
+		perTenant = spt
+	}
+	schemes := Schemes()
+	const tenants = 2
+	rows := make([][]string, len(schemes)*tenants)
+	err = runCells(b, len(schemes), func(i int) error {
+		f, err := newWarmed(schemes[i], cfg, b.WarmExtra)
+		if err != nil {
+			return err
+		}
+		streams := workload.TenantMix(f.Config().LogicalPages(), spt, perTenant,
+			kind, total*share, total*(1-share))
+		r := measureOpen(f, streams)
+		offered := []float64{total * share, total * (1 - share)}
+		for j, sr := range r.Streams {
+			if j >= tenants {
+				break
+			}
+			rows[i*tenants+j] = []string{
+				schemes[i].String(), sr.Name, f0(offered[j]),
+				fmt.Sprint(sr.Requests), lat(sr.MeanLat), lat(sr.P99), lat(sr.P999),
+				pct(sr.WaitShare),
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	return Table{
+		Title:  "Tenant mix: WebSearch reads + Systor writes sharing one device (per-tenant open-loop latency)",
+		Header: []string{"FTL", "tenant", "offered IOPS", "requests", "mean", "p99", "p99.9", "wait"},
+		Rows:   rows,
+	}, nil
 }
 
 // Fig2 reproduces the motivation experiment: TPFTL sequential vs random read
@@ -679,20 +879,22 @@ func Table2(cfg Config, b Budget) (Table, error) {
 // use these ids.
 func Experiments() map[string]func(Config, Budget) (Table, error) {
 	return map[string]func(Config, Budget) (Table, error){
-		"fig2":   Fig2,
-		"fig3":   Fig3,
-		"fig6":   Fig6,
-		"fig7":   Fig7,
-		"fig14":  Fig14,
-		"fig15":  func(Config, Budget) (Table, error) { return Fig15() },
-		"fig16":  Fig16,
-		"fig17":  Fig17,
-		"fig18":  Fig18,
-		"fig19":  Fig19,
-		"fig20":  Fig20,
-		"fig21":  Fig21,
-		"fig22":  Fig22,
-		"table2": Table2,
+		"fig2":      Fig2,
+		"fig3":      Fig3,
+		"fig6":      Fig6,
+		"fig7":      Fig7,
+		"fig14":     Fig14,
+		"fig15":     func(Config, Budget) (Table, error) { return Fig15() },
+		"fig16":     Fig16,
+		"fig17":     Fig17,
+		"fig18":     Fig18,
+		"fig19":     Fig19,
+		"fig20":     Fig20,
+		"fig21":     Fig21,
+		"fig22":     Fig22,
+		"table2":    Table2,
+		"loadsweep": LoadSweep,
+		"tenantmix": TenantMixExp,
 	}
 }
 

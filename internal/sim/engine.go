@@ -1,8 +1,19 @@
-// Package sim drives an FTL with a closed-loop multi-threaded host, the way
-// the paper drives FEMU with FIO's psync engine: each logical thread keeps
-// exactly one request outstanding, issuing the next one the moment the
-// previous completes. Parallelism across threads emerges from per-chip
-// scheduling inside the flash array.
+// Package sim is the event-driven host layer of the simulator. Two host
+// models share one event core (event.go):
+//
+//   - The closed-loop model (Run) reproduces FIO's psync engine, the way the
+//     paper drives FEMU: each logical thread keeps exactly one request
+//     outstanding, issuing the next one the moment the previous completes.
+//     Offered load is whatever the device sustains — the saturation view.
+//
+//   - The open-loop model (RunOpen) reproduces what a rate-controlled
+//     service sees: requests arrive on their own schedule (Poisson or fixed
+//     interval, deterministic given a seed) whether or not the device is
+//     ready, queue when it falls behind, and decompose their latency into
+//     queue wait plus device service.
+//
+// In both models parallelism across sources emerges from per-chip
+// scheduling inside the flash array, and all scheduling is deterministic.
 package sim
 
 import (
@@ -45,12 +56,12 @@ func (r Result) Makespan() nand.Time { return r.End - r.Start }
 //
 // The engine is deterministic: among ready threads the lowest-indexed one
 // issues first, and virtual time advances only through flash-op completion.
-// Thread selection uses an index min-heap keyed by (ready time, thread
+// Thread selection uses the shared event heap keyed by (ready time, thread
 // index), so a T-thread closed loop schedules each request in O(log T)
 // instead of the O(T) linear scan a naive implementation would need.
 func Run(f ftl.FTL, gens []Generator, maxRequests int64) Result {
 	start := f.Flash().MaxChipBusy()
-	h := newThreadHeap(len(gens), start)
+	h := newEventHeap(len(gens), start)
 	col := f.Collector()
 	var issued int64
 	end := start
@@ -64,19 +75,11 @@ func Run(f ftl.FTL, gens []Generator, maxRequests int64) Result {
 			// Thread exhausted: retire it by not re-inserting.
 			continue
 		}
-		if req.Pages <= 0 {
-			req.Pages = 1
-		}
-		var done nand.Time
+		done, pages := issue(f, req, now)
 		if req.Write {
-			done = f.WritePages(req.LPN, req.Pages, now)
-			col.RecordWrite(done-now, req.Pages)
+			col.RecordWrite(done-now, pages)
 		} else {
-			done = f.ReadPages(req.LPN, req.Pages, now)
-			col.RecordRead(done-now, req.Pages)
-		}
-		if done < now {
-			done = now
+			col.RecordRead(done-now, pages)
 		}
 		h.push(th, done)
 		if done > end {

@@ -1,0 +1,178 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+
+	"learnedftl/internal/ftl"
+	"learnedftl/internal/nand"
+)
+
+// ArrivalKind selects the arrival process of one open-loop stream.
+type ArrivalKind int
+
+const (
+	// ArrivalUnbounded makes every request of the stream available at run
+	// start, so only device back-pressure paces it. A stream of unbounded
+	// arrivals schedules identically to one closed-loop thread driving the
+	// same generator (see TestOpenUnboundedMatchesClosedLoop).
+	ArrivalUnbounded ArrivalKind = iota
+	// ArrivalFixed spaces arrivals by exactly 1/Rate seconds of virtual
+	// time — a deterministic pacer.
+	ArrivalFixed
+	// ArrivalPoisson draws exponential interarrival gaps with mean 1/Rate
+	// from the stream's seeded RNG — a memoryless open-loop source. Given
+	// the same seed the arrival schedule is bit-for-bit reproducible.
+	ArrivalPoisson
+)
+
+// String implements fmt.Stringer.
+func (k ArrivalKind) String() string {
+	switch k {
+	case ArrivalUnbounded:
+		return "unbounded"
+	case ArrivalFixed:
+		return "fixed"
+	case ArrivalPoisson:
+		return "poisson"
+	default:
+		return "unknown"
+	}
+}
+
+// ParseArrival maps a flag value to an ArrivalKind.
+func ParseArrival(s string) (ArrivalKind, bool) {
+	switch s {
+	case "unbounded":
+		return ArrivalUnbounded, true
+	case "fixed":
+		return ArrivalFixed, true
+	case "poisson", "":
+		return ArrivalPoisson, true
+	default:
+		return ArrivalPoisson, false
+	}
+}
+
+// Stream is one open-loop request source: a tenant's request content
+// (Gen) paired with an arrival process that paces it. Several streams may
+// share one Name; the collector then accounts them as a single tenant.
+type Stream struct {
+	// Name tags the stream's requests in the collector's per-stream
+	// latency tracking. Streams with equal names share one bucket.
+	Name string
+	// Gen supplies the request contents in order. Requests are serviced
+	// FIFO within a stream, at most one outstanding (psync semantics), so
+	// arrivals outrunning the device accumulate queue wait.
+	Gen Generator
+	// Kind selects the arrival process.
+	Kind ArrivalKind
+	// Rate is the offered arrival rate in requests per virtual second.
+	// Ignored for ArrivalUnbounded; a Rate <= 0 degrades any kind to
+	// unbounded arrivals.
+	Rate float64
+	// Seed seeds the Poisson interarrival RNG.
+	Seed int64
+}
+
+// olStream is the engine-side state of one open-loop stream.
+type olStream struct {
+	gen    Generator
+	kind   ArrivalKind
+	meanNS float64 // mean interarrival gap in virtual ns
+	rng    *rand.Rand
+
+	start   nand.Time
+	clockNS float64   // arrival offset of the fetched request, ns since start
+	arrival nand.Time // arrival time of the fetched request
+	req     Request   // fetched but not yet issued request
+	ready   nand.Time // completion time of the stream's previous request
+}
+
+// fetch pulls the stream's next request and stamps its arrival time.
+// It returns false when the generator is exhausted.
+func (s *olStream) fetch() bool {
+	req, ok := s.gen.Next()
+	if !ok {
+		return false
+	}
+	s.req = req
+	s.arrival = s.start + nand.Time(math.Round(s.clockNS))
+	switch s.kind {
+	case ArrivalFixed:
+		s.clockNS += s.meanNS
+	case ArrivalPoisson:
+		s.clockNS += s.rng.ExpFloat64() * s.meanNS
+	}
+	return true
+}
+
+// RunOpen replays rate-controlled open-loop streams against f until all
+// streams are exhausted or maxRequests have been issued (0 = unlimited).
+//
+// Each stream's requests arrive on the schedule of its arrival process and
+// are serviced in order, one outstanding at a time: request j begins
+// service at max(arrival_j, completion_{j-1}), so a device that falls
+// behind the offered rate accumulates queue wait. Per request the engine
+// records total latency (completion − arrival) decomposed into queue wait
+// (service start − arrival) and device service (completion − service
+// start) into the FTL's collector, tagged with the stream for per-tenant
+// percentiles.
+//
+// Scheduling is deterministic: the shared event heap issues the stream
+// with the earliest service-start time first, lowest stream index winning
+// ties, and all arrival processes are seeded. With every stream unbounded
+// RunOpen degenerates to the closed-loop Run over the same generators:
+// identical issue order, identical flash schedule, identical service
+// times.
+func RunOpen(f ftl.FTL, streams []Stream, maxRequests int64) Result {
+	start := f.Flash().MaxChipBusy()
+	col := f.Collector()
+	names := make([]string, len(streams))
+	for i, s := range streams {
+		names[i] = s.Name
+	}
+	col.DefineStreams(names)
+
+	states := make([]*olStream, len(streams))
+	h := newEventHeap(0, start)
+	for i, s := range streams {
+		st := &olStream{gen: s.Gen, kind: s.Kind, start: start, ready: start}
+		if s.Rate <= 0 {
+			st.kind = ArrivalUnbounded
+		}
+		switch st.kind {
+		case ArrivalFixed:
+			st.meanNS = float64(nand.Second) / s.Rate
+		case ArrivalPoisson:
+			st.meanNS = float64(nand.Second) / s.Rate
+			st.rng = rand.New(rand.NewSource(s.Seed))
+		}
+		states[i] = st
+		if st.fetch() {
+			h.push(i, max(st.arrival, st.ready))
+		}
+	}
+
+	var issued int64
+	end := start
+	for h.len() > 0 {
+		if maxRequests > 0 && issued >= maxRequests {
+			break
+		}
+		i, now := h.pop()
+		st := states[i]
+		wait := now - st.arrival
+		done, pages := issue(f, st.req, now)
+		col.RecordQueued(i, st.req.Write, wait, done-now, pages)
+		st.ready = done
+		if done > end {
+			end = done
+		}
+		issued++
+		if st.fetch() {
+			h.push(i, max(st.arrival, st.ready))
+		}
+	}
+	return Result{Start: start, End: end, Requests: issued}
+}

@@ -8,9 +8,12 @@ import (
 	"learnedftl/internal/nand"
 )
 
-// runLinear is the original O(threads) reference scheduler: scan all alive
-// threads for the earliest ready time, lowest index winning ties. The heap
-// scheduler in Run must reproduce its issue order exactly.
+// runLinear is the frozen pre-refactor reference scheduler, kept verbatim
+// (including its original clamp-after-record ordering): scan all alive
+// threads for the earliest ready time, lowest index winning ties. The
+// event-core scheduler in Run must reproduce its issue order exactly — this
+// is the bit-for-bit pin that lets the host-layer refactor touch engine.go
+// without moving any closed-loop number.
 func runLinear(f ftl.FTL, gens []Generator, maxRequests int64) Result {
 	start := f.Flash().MaxChipBusy()
 	ready := make([]nand.Time, len(gens))
@@ -162,9 +165,9 @@ func TestHeapMatchesLinearWithCap(t *testing.T) {
 	}
 }
 
-// TestThreadHeapOrdering unit-tests the heap's (time, index) ordering.
-func TestThreadHeapOrdering(t *testing.T) {
-	h := newThreadHeap(4, 100)
+// TestEventHeapOrdering unit-tests the heap's (time, index) ordering.
+func TestEventHeapOrdering(t *testing.T) {
+	h := newEventHeap(4, 100)
 	// All equal: pops must come out in index order.
 	for want := 0; want < 4; want++ {
 		th, at := h.pop()

@@ -48,9 +48,23 @@ func (c ReadClass) String() string {
 // instance; the simulation engine records request latencies into it and the
 // FTL records hit/class events.
 type Collector struct {
-	// Latencies of completed host requests, in virtual ns.
+	// Latencies of completed host requests, in virtual ns. For closed-loop
+	// runs these are device service times; for open-loop runs they are
+	// total host-observed latencies (queue wait + device service).
 	readLat  []int64
 	writeLat []int64
+
+	// Queue waits of completed open-loop requests, index-parallel to
+	// readLat/writeLat. Closed-loop runs leave them empty; an engine must
+	// not mix RecordRead/RecordWrite with RecordQueued in one run, or the
+	// pairing breaks.
+	readWait  []int64
+	writeWait []int64
+
+	// Per-stream (tenant) latency buckets of an open-loop run, registered
+	// by DefineStreams.
+	streams   []*StreamLat
+	streamIdx []int // engine stream index -> streams bucket
 
 	// Host-level op/byte counts.
 	HostReads      int64
@@ -95,6 +109,88 @@ func (c *Collector) RecordWrite(lat nand.Time, pages int) {
 	c.writeLat = append(c.writeLat, int64(lat))
 	c.HostWrites++
 	c.HostWritePages += int64(pages)
+}
+
+// StreamLat accumulates one tenant stream's request latencies and queue
+// waits, for the per-stream percentile tracking of multi-tenant open-loop
+// runs.
+type StreamLat struct {
+	Name string
+	lat  []int64 // total latency (wait + service) per request
+	wait []int64 // queue wait per request
+}
+
+// Requests returns the number of completed requests recorded.
+func (s *StreamLat) Requests() int64 { return int64(len(s.lat)) }
+
+// Mean returns the stream's mean total latency.
+func (s *StreamLat) Mean() nand.Time { return mean(s.lat) }
+
+// Percentile returns the p-th percentile of the stream's total latencies.
+func (s *StreamLat) Percentile(p float64) nand.Time { return percentile(s.lat, p) }
+
+// MeanWait returns the stream's mean queue wait.
+func (s *StreamLat) MeanWait() nand.Time { return mean(s.wait) }
+
+// WaitShare returns the fraction of the stream's total latency spent
+// waiting in queue rather than being serviced.
+func (s *StreamLat) WaitShare() float64 { return waitShare(s.lat, s.wait) }
+
+func sum(v []int64) int64 {
+	var s int64
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+func waitShare(lat, wait []int64) float64 {
+	sumL := sum(lat)
+	if sumL == 0 {
+		return 0
+	}
+	return float64(sum(wait)) / float64(sumL)
+}
+
+// DefineStreams registers the named streams of an open-loop run, in engine
+// stream order. Streams sharing a name share one bucket — that is how a
+// tenant spread across several parallel streams is accounted as one.
+func (c *Collector) DefineStreams(names []string) {
+	c.streams = nil
+	c.streamIdx = make([]int, len(names))
+	byName := make(map[string]int, len(names))
+	for i, n := range names {
+		b, ok := byName[n]
+		if !ok {
+			b = len(c.streams)
+			byName[n] = b
+			c.streams = append(c.streams, &StreamLat{Name: n})
+		}
+		c.streamIdx[i] = b
+	}
+}
+
+// Streams returns the per-tenant latency buckets in first-appearance
+// order, or nil for a closed-loop run.
+func (c *Collector) Streams() []*StreamLat { return c.streams }
+
+// RecordQueued records one completed open-loop request: the total latency
+// (wait + service) joins the host latency population, the wait joins the
+// queue-wait decomposition, and both are credited to the stream's bucket.
+func (c *Collector) RecordQueued(stream int, write bool, wait, service nand.Time, pages int) {
+	total := wait + service
+	if write {
+		c.RecordWrite(total, pages)
+		c.writeWait = append(c.writeWait, int64(wait))
+	} else {
+		c.RecordRead(total, pages)
+		c.readWait = append(c.readWait, int64(wait))
+	}
+	if stream >= 0 && stream < len(c.streamIdx) {
+		s := c.streams[c.streamIdx[stream]]
+		s.lat = append(s.lat, int64(total))
+		s.wait = append(s.wait, int64(wait))
+	}
 }
 
 // RecordClass records the read class of one host page read.
@@ -148,6 +244,64 @@ func percentile(v []int64, p float64) nand.Time {
 	return nand.Time(s[idx])
 }
 
+// ReadServicePercentile returns the p-th percentile of device-service time
+// (total latency minus queue wait) of host reads. For closed-loop runs —
+// no recorded waits — it equals ReadPercentile.
+func (c *Collector) ReadServicePercentile(p float64) nand.Time {
+	return percentile(serviceLats(c.readLat, c.readWait), p)
+}
+
+// WriteServicePercentile is ReadServicePercentile for writes.
+func (c *Collector) WriteServicePercentile(p float64) nand.Time {
+	return percentile(serviceLats(c.writeLat, c.writeWait), p)
+}
+
+// serviceLats subtracts index-paired queue waits from total latencies;
+// with no waits recorded the totals already are service times.
+func serviceLats(lat, wait []int64) []int64 {
+	if len(wait) == 0 {
+		return lat
+	}
+	svc := make([]int64, len(lat))
+	for i, v := range lat {
+		svc[i] = v
+		if i < len(wait) {
+			svc[i] -= wait[i]
+		}
+	}
+	return svc
+}
+
+// MeanLatency returns the average over the merged read+write latency
+// population.
+func (c *Collector) MeanLatency() nand.Time {
+	n := len(c.readLat) + len(c.writeLat)
+	if n == 0 {
+		return 0
+	}
+	return nand.Time((sum(c.readLat) + sum(c.writeLat)) / int64(n))
+}
+
+// MeanQueueWait returns the average queue wait over all open-loop
+// requests (0 for closed-loop runs).
+func (c *Collector) MeanQueueWait() nand.Time {
+	n := len(c.readWait) + len(c.writeWait)
+	if n == 0 {
+		return 0
+	}
+	return nand.Time((sum(c.readWait) + sum(c.writeWait)) / int64(n))
+}
+
+// QueueWaitShare returns the fraction of total host latency spent queued
+// rather than serviced, over the merged read+write population.
+func (c *Collector) QueueWaitShare() float64 {
+	sumL := sum(c.readLat) + sum(c.writeLat)
+	if sumL == 0 {
+		return 0
+	}
+	return float64(sum(c.readWait)+sum(c.writeWait)) / float64(sumL)
+}
+
 // MeanReadLatency returns the average read latency.
 func (c *Collector) MeanReadLatency() nand.Time { return mean(c.readLat) }
 
@@ -158,11 +312,7 @@ func mean(v []int64) nand.Time {
 	if len(v) == 0 {
 		return 0
 	}
-	var sum int64
-	for _, x := range v {
-		sum += x
-	}
-	return nand.Time(sum / int64(len(v)))
+	return nand.Time(sum(v) / int64(len(v)))
 }
 
 // CMTHitRatio returns the fraction of page-read translations served by the
@@ -207,6 +357,16 @@ type Report struct {
 	P99         nand.Time
 	P999        nand.Time
 
+	// Host-level request accounting and, for open-loop runs, the
+	// queue-wait decomposition and per-tenant breakdown (zero/empty for
+	// closed-loop runs).
+	Requests  int64
+	IOPS      float64
+	MeanLat   nand.Time
+	MeanWait  nand.Time
+	WaitShare float64
+	Streams   []StreamReport
+
 	CMTHitRatio   float64
 	ModelHitRatio float64
 	SingleFrac    float64
@@ -220,6 +380,17 @@ type Report struct {
 	Flash nand.OpCounters
 }
 
+// StreamReport is the frozen per-tenant summary of one open-loop run.
+type StreamReport struct {
+	Name      string
+	Requests  int64
+	MeanLat   nand.Time
+	P99       nand.Time
+	P999      nand.Time
+	MeanWait  nand.Time
+	WaitShare float64
+}
+
 // BuildReport summarizes a run. makespan is the virtual duration of the
 // measured phase; pageSize converts pages to bytes for throughput.
 func BuildReport(name string, c *Collector, flash nand.OpCounters,
@@ -231,6 +402,10 @@ func BuildReport(name string, c *Collector, flash nand.OpCounters,
 		MeanReadLat:   c.MeanReadLatency(),
 		P99:           c.Percentile(99),
 		P999:          c.Percentile(99.9),
+		Requests:      c.HostReads + c.HostWrites,
+		MeanLat:       c.MeanLatency(),
+		MeanWait:      c.MeanQueueWait(),
+		WaitShare:     c.QueueWaitShare(),
 		CMTHitRatio:   c.CMTHitRatio(),
 		ModelHitRatio: c.ModelHitRatio(),
 		SingleFrac:    c.ReadClassFraction(ReadSingle),
@@ -244,6 +419,18 @@ func BuildReport(name string, c *Collector, flash nand.OpCounters,
 		secs := float64(makespan) / float64(nand.Second)
 		r.ReadMBps = float64(c.HostReadPages) * float64(pageSize) / (1 << 20) / secs
 		r.WriteMBps = float64(c.HostWritePages) * float64(pageSize) / (1 << 20) / secs
+		r.IOPS = float64(r.Requests) / secs
+	}
+	for _, s := range c.Streams() {
+		r.Streams = append(r.Streams, StreamReport{
+			Name:      s.Name,
+			Requests:  s.Requests(),
+			MeanLat:   s.Mean(),
+			P99:       s.Percentile(99),
+			P999:      s.Percentile(99.9),
+			MeanWait:  s.MeanWait(),
+			WaitShare: s.WaitShare(),
+		})
 	}
 	if c.HostWritePages > 0 {
 		r.WriteAmp = float64(flash.TotalPrograms()) / float64(c.HostWritePages)

@@ -178,8 +178,103 @@ func TestReset(t *testing.T) {
 	c.RecordRead(1, 1)
 	c.RecordClass(ReadDouble)
 	c.CMTLookups = 5
+	c.DefineStreams([]string{"a"})
+	c.RecordQueued(0, false, 3, 4, 1)
 	c.Reset()
 	if c.HostReads != 0 || c.CMTLookups != 0 || c.ReadClasses[ReadDouble] != 0 {
 		t.Fatal("Reset incomplete")
+	}
+	if c.Streams() != nil || c.QueueWaitShare() != 0 {
+		t.Fatal("Reset left open-loop state behind")
+	}
+}
+
+func TestRecordQueuedDecomposition(t *testing.T) {
+	c := NewCollector()
+	c.DefineStreams([]string{"a", "b", "a"})
+	c.RecordQueued(0, false, 30, 10, 1) // tenant a: total 40, wait 30
+	c.RecordQueued(1, true, 0, 100, 2)  // tenant b: total 100, no wait
+	c.RecordQueued(2, false, 10, 50, 1) // tenant a again (merged bucket)
+
+	if got := c.ReadPercentile(100); got != 60 {
+		t.Fatalf("total read P100 = %d, want 60", got)
+	}
+	if got := c.ReadServicePercentile(100); got != 50 {
+		t.Fatalf("service read P100 = %d, want 50", got)
+	}
+	if got := c.WriteServicePercentile(100); got != 100 {
+		t.Fatalf("service write P100 = %d, want 100", got)
+	}
+	// Wait share: (30+0+10) / (40+100+60) = 0.2
+	if got := c.QueueWaitShare(); got != 0.2 {
+		t.Fatalf("wait share = %v, want 0.2", got)
+	}
+	if got := c.MeanQueueWait(); got != nand.Time((30+0+10)/3) {
+		t.Fatalf("mean wait = %d", got)
+	}
+	if got := c.MeanLatency(); got != nand.Time((40+100+60)/3) {
+		t.Fatalf("mean latency = %d", got)
+	}
+
+	streams := c.Streams()
+	if len(streams) != 2 {
+		t.Fatalf("got %d buckets, want 2 (same-name streams merge)", len(streams))
+	}
+	a, b := streams[0], streams[1]
+	if a.Name != "a" || a.Requests() != 2 || b.Name != "b" || b.Requests() != 1 {
+		t.Fatalf("bucket routing wrong: %+v %+v", a, b)
+	}
+	if a.Percentile(100) != 60 || a.Mean() != 50 || a.MeanWait() != 20 {
+		t.Fatalf("tenant a stats: p100=%d mean=%d wait=%d", a.Percentile(100), a.Mean(), a.MeanWait())
+	}
+	if got := a.WaitShare(); got != 0.4 { // (30+10)/(40+60)
+		t.Fatalf("tenant a wait share = %v, want 0.4", got)
+	}
+	if b.WaitShare() != 0 {
+		t.Fatalf("tenant b wait share = %v, want 0", b.WaitShare())
+	}
+}
+
+func TestServicePercentileClosedLoopFallback(t *testing.T) {
+	// With no recorded waits (closed-loop run), service == latency.
+	c := NewCollector()
+	c.RecordRead(40, 1)
+	c.RecordRead(80, 1)
+	if c.ReadServicePercentile(100) != c.ReadPercentile(100) {
+		t.Fatal("service percentile should equal latency percentile without waits")
+	}
+	if c.QueueWaitShare() != 0 || c.MeanQueueWait() != 0 {
+		t.Fatal("closed-loop collector reports nonzero queue wait")
+	}
+}
+
+func TestBuildReportOpenLoopFields(t *testing.T) {
+	c := NewCollector()
+	c.DefineStreams([]string{"web", "sys"})
+	for i := 0; i < 128; i++ {
+		c.RecordQueued(0, false, nand.Time(i), 40, 1)
+	}
+	for i := 0; i < 128; i++ {
+		c.RecordQueued(1, true, 0, 200, 1)
+	}
+	var fc nand.OpCounters
+	r := BuildReport("test", c, fc, nand.Second, 4096, nand.DefaultEnergy())
+	if r.Requests != 256 {
+		t.Fatalf("Requests = %d, want 256", r.Requests)
+	}
+	if r.IOPS != 256 {
+		t.Fatalf("IOPS = %v, want 256 over one virtual second", r.IOPS)
+	}
+	if r.WaitShare <= 0 || r.MeanWait <= 0 {
+		t.Fatal("queue-wait decomposition missing from report")
+	}
+	if len(r.Streams) != 2 || r.Streams[0].Name != "web" || r.Streams[1].Name != "sys" {
+		t.Fatalf("stream reports: %+v", r.Streams)
+	}
+	if r.Streams[0].Requests != 128 || r.Streams[0].P99 == 0 {
+		t.Fatalf("web stream report: %+v", r.Streams[0])
+	}
+	if r.Streams[1].WaitShare != 0 {
+		t.Fatalf("sys stream should have no wait: %+v", r.Streams[1])
 	}
 }

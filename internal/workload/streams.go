@@ -1,0 +1,56 @@
+package workload
+
+import "learnedftl/internal/sim"
+
+// This file adapts the package's generators to the open-loop host model:
+// rate-tagged streams whose arrivals are paced by a deterministic process
+// rather than by device back-pressure. A tenant is a named group of
+// parallel streams splitting one offered rate; the collector merges
+// same-named streams into one per-tenant latency bucket.
+
+// rateStreams wraps per-thread generators as open-loop streams of one
+// tenant. The tenant's offered rate is split evenly across its streams and
+// each stream gets its own deterministic arrival seed.
+func rateStreams(name string, gens []sim.Generator, kind sim.ArrivalKind, rate float64, seed int64) []sim.Stream {
+	out := make([]sim.Stream, len(gens))
+	per := rate / float64(len(gens))
+	for i, g := range gens {
+		out[i] = sim.Stream{
+			Name: name,
+			Gen:  g,
+			Kind: kind,
+			Rate: per,
+			Seed: seed + int64(i)*6151,
+		}
+	}
+	return out
+}
+
+// OpenFIO builds one tenant of `streams` open-loop streams driving a FIO
+// pattern over lp logical pages, together offering `rate` requests per
+// virtual second under the given arrival process. Each stream issues
+// perStream requests of ioPages pages.
+func OpenFIO(name string, p Pattern, lp int64, ioPages, streams, perStream int, kind sim.ArrivalKind, rate float64, seed int64) []sim.Stream {
+	return rateStreams(name, FIO(p, lp, ioPages, streams, perStream, seed), kind, rate, seed)
+}
+
+// TenantStreams adapts a Table II trace spec into one rate-tagged tenant:
+// `streams` parallel streams replaying scale × Requests I/Os with the
+// trace's locality and read ratio, together offering `rate` requests per
+// virtual second.
+func (s TraceSpec) TenantStreams(lp int64, streams int, scale float64, kind sim.ArrivalKind, rate float64) []sim.Stream {
+	return rateStreams(s.Name, s.Generators(lp, streams, scale), kind, rate, s.Seed)
+}
+
+// TenantMix builds the canonical two-tenant serving scenario: a
+// WebSearch-like read tenant and a Systor-like write-heavy tenant sharing
+// one device, each offering its own rate under the given arrival process.
+// Every tenant replays about reqsPerTenant requests across
+// streamsPerTenant parallel streams.
+func TenantMix(lp int64, streamsPerTenant, reqsPerTenant int, kind sim.ArrivalKind, readIOPS, writeIOPS float64) []sim.Stream {
+	scaleFor := func(spec TraceSpec) float64 {
+		return float64(reqsPerTenant) / float64(spec.Requests)
+	}
+	mix := WebSearch1.TenantStreams(lp, streamsPerTenant, scaleFor(WebSearch1), kind, readIOPS)
+	return append(mix, Systor17.TenantStreams(lp, streamsPerTenant, scaleFor(Systor17), kind, writeIOPS)...)
+}

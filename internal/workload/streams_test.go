@@ -1,0 +1,112 @@
+package workload
+
+import (
+	"testing"
+
+	"learnedftl/internal/sim"
+)
+
+func drainOne(g sim.Generator) (n int, writes int) {
+	for {
+		r, ok := g.Next()
+		if !ok {
+			return n, writes
+		}
+		n++
+		if r.Write {
+			writes++
+		}
+	}
+}
+
+func TestOpenFIOSplitsRateAcrossStreams(t *testing.T) {
+	const lp, streams, per, rate = 4096, 8, 50, 40_000.0
+	ss := OpenFIO("rd", RandRead, lp, 1, streams, per, sim.ArrivalPoisson, rate, 7)
+	if len(ss) != streams {
+		t.Fatalf("got %d streams, want %d", len(ss), streams)
+	}
+	var sum float64
+	seeds := map[int64]bool{}
+	for _, s := range ss {
+		if s.Name != "rd" || s.Kind != sim.ArrivalPoisson {
+			t.Fatalf("stream tagging wrong: %+v", s)
+		}
+		sum += s.Rate
+		seeds[s.Seed] = true
+		if n, w := drainOne(s.Gen); n != per || w != 0 {
+			t.Fatalf("stream issued %d requests (%d writes), want %d reads", n, w, per)
+		}
+	}
+	if sum < rate*0.999 || sum > rate*1.001 {
+		t.Fatalf("per-stream rates sum to %v, want %v", sum, rate)
+	}
+	if len(seeds) != streams {
+		t.Fatal("arrival seeds must be distinct per stream")
+	}
+}
+
+func TestTenantMixComposition(t *testing.T) {
+	const lp, spt, reqs = 1 << 16, 4, 800
+	mix := TenantMix(lp, spt, reqs, sim.ArrivalPoisson, 30_000, 10_000)
+	if len(mix) != 2*spt {
+		t.Fatalf("got %d streams, want %d", len(mix), 2*spt)
+	}
+	counts := map[string]int{}
+	rates := map[string]float64{}
+	totals := map[string]int{}
+	writes := map[string]int{}
+	for _, s := range mix {
+		counts[s.Name]++
+		rates[s.Name] += s.Rate
+		n, w := drainOne(s.Gen)
+		totals[s.Name] += n
+		writes[s.Name] += w
+	}
+	if counts["WebSearch1"] != spt || counts["Systor17"] != spt {
+		t.Fatalf("tenant stream counts: %v", counts)
+	}
+	if r := rates["WebSearch1"]; r < 29_999 || r > 30_001 {
+		t.Fatalf("read tenant rate = %v, want 30000", r)
+	}
+	if r := rates["Systor17"]; r < 9_999 || r > 10_001 {
+		t.Fatalf("write tenant rate = %v, want 10000", r)
+	}
+	for name, n := range totals {
+		// Each tenant replays about reqs requests (rounding splits per
+		// stream).
+		if n < reqs/2 || n > reqs*2 {
+			t.Fatalf("tenant %s issued %d requests, want ~%d", name, n, reqs)
+		}
+	}
+	if writes["WebSearch1"] != 0 {
+		t.Fatalf("WebSearch1 tenant issued %d writes, want 0", writes["WebSearch1"])
+	}
+	if writes["Systor17"] == 0 {
+		t.Fatal("Systor17 tenant issued no writes")
+	}
+}
+
+func TestTenantStreamsDeterministic(t *testing.T) {
+	mk := func() []sim.Request {
+		var out []sim.Request
+		for _, s := range Systor17.TenantStreams(1<<16, 2, 0.0005, sim.ArrivalPoisson, 5000) {
+			for {
+				r, ok := s.Gen.Next()
+				if !ok {
+					break
+				}
+				out = append(out, r)
+			}
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("lengths: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

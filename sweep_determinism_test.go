@@ -2,6 +2,7 @@ package learnedftl
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -15,10 +16,12 @@ func sweepTestBudget(workers int) Budget {
 // engine: running an experiment's cells across a worker pool must produce a
 // table byte-identical to the serial run. fig2 (per-thread-count cells),
 // fig6 (per-scheme cells with post-hoc normalization) and table2 (pure
-// computation) cover the three assembly shapes.
+// computation) cover the three assembly shapes; loadsweep (scheme × rate
+// open-loop cells with seeded Poisson arrivals) and tenantmix (per-scheme
+// cells emitting two per-tenant rows each) cover the open-loop host model.
 func TestExperimentsParallelDeterminism(t *testing.T) {
 	cfg := TinyConfig()
-	for _, id := range []string{"fig2", "fig6", "table2"} {
+	for _, id := range []string{"fig2", "fig6", "table2", "loadsweep", "tenantmix"} {
 		run := Experiments()[id]
 		serial, err := run(cfg, sweepTestBudget(1))
 		if err != nil {
@@ -34,6 +37,94 @@ func TestExperimentsParallelDeterminism(t *testing.T) {
 		if serial.String() != parallel.String() {
 			t.Fatalf("%s rendering diverged", id)
 		}
+	}
+}
+
+// closedLoopGolden pins the closed-loop experiment tables bit-for-bit to
+// the pre-refactor engine: these strings were captured from the seed's
+// closed-loop-only sim.Run (commit f06c5b0) with TinyConfig and
+// sweepTestBudget before the event-core/open-loop refactor landed. If this
+// test fails, the host-layer refactor moved a closed-loop number — that is
+// a regression, not a table to re-bless.
+var closedLoopGolden = map[string]string{
+	"fig2": `== Fig 2: TPFTL read performance vs threads (seq uses 8-page I/O, rand 1-page) ==
+threads  seqread MB/s  randread MB/s  seq CMT hit  rand CMT hit
+1        329.2         49.5           87.5%        2.6%
+16       2353.2        574.4          87.5%        2.7%
+32       2854.5        905.4          87.5%        3.0%
+64       3209.1        927.0          87.5%        3.2%
+`,
+	"fig6": `== Fig 6: LeaFTL vs TPFTL under FIO random reads ==
+FTL     MB/s   norm vs TPFTL  single  double  triple
+LeaFTL  586.5  1.01           5.2%    90.8%   4.0%
+TPFTL   583.0  1.00           2.2%    97.8%   0.0%
+`,
+}
+
+// trimTrailing strips the column padding Table.String appends to every
+// line, so the golden strings can live in source without trailing
+// whitespace. Cell contents are compared exactly.
+func trimTrailing(s string) string {
+	lines := strings.Split(s, "\n")
+	for i, l := range lines {
+		lines[i] = strings.TrimRight(l, " ")
+	}
+	return strings.Join(lines, "\n")
+}
+
+func TestClosedLoopTablesMatchPreRefactorEngine(t *testing.T) {
+	cfg := TinyConfig()
+	for id, want := range closedLoopGolden {
+		tab, err := Experiments()[id](cfg, sweepTestBudget(1))
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if got := trimTrailing(tab.String()); got != want {
+			t.Fatalf("%s diverged from the pre-refactor engine:\ngot:\n%s\nwant:\n%s", id, got, want)
+		}
+	}
+}
+
+// TestLoadSweepRepeatable: the open-loop ladder must be byte-identical
+// across repeated runs (seeded arrivals, hermetic cells) and must actually
+// show the hockey stick — queue-wait share rising monotonically enough to
+// reach domination on the last rung.
+func TestLoadSweepRepeatable(t *testing.T) {
+	cfg := TinyConfig()
+	a, err := LoadSweep(cfg, sweepTestBudget(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadSweep(cfg, sweepTestBudget(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("loadsweep not reproducible:\n%s\nvs\n%s", a, b)
+	}
+	if len(a.Rows) != len(Schemes())*8 {
+		t.Fatalf("loadsweep rows = %d, want %d", len(a.Rows), len(Schemes())*8)
+	}
+}
+
+// TestOpenLoopBudgetValidation: a typo'd arrival process or an
+// out-of-range tenant share must error rather than silently running with
+// defaults, and "unbounded" — valid for the engine — is rejected by the
+// experiments because it voids the offered-IOPS axis.
+func TestOpenLoopBudgetValidation(t *testing.T) {
+	b := sweepTestBudget(1)
+	b.Arrival = "possion"
+	if _, err := LoadSweep(TinyConfig(), b); err == nil {
+		t.Fatal("typo'd arrival accepted")
+	}
+	b.Arrival = "unbounded"
+	if _, err := TenantMixExp(TinyConfig(), b); err == nil {
+		t.Fatal("unbounded arrival accepted by tenantmix")
+	}
+	b.Arrival = ""
+	b.ReadTenantShare = 1.5
+	if _, err := TenantMixExp(TinyConfig(), b); err == nil {
+		t.Fatal("out-of-range tenant share accepted")
 	}
 }
 
