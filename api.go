@@ -23,6 +23,7 @@ import (
 	"learnedftl/internal/core"
 	"learnedftl/internal/dftl"
 	"learnedftl/internal/ftl"
+	"learnedftl/internal/gc"
 	"learnedftl/internal/leaftl"
 	"learnedftl/internal/nand"
 	"learnedftl/internal/sim"
@@ -44,7 +45,32 @@ type (
 	ArrivalKind = sim.ArrivalKind
 	// RunResult summarizes one engine run (virtual start/end, requests).
 	RunResult = sim.Result
+	// OpenOptions tune an open-loop run (request cap, background GC).
+	OpenOptions = sim.OpenOptions
+	// GCPolicy names a garbage-collection victim-selection policy
+	// (Config.GCPolicy).
+	GCPolicy = gc.Kind
 )
+
+// The built-in GC victim-selection policies (see internal/gc).
+const (
+	// GCGreedy collects the candidate with the fewest valid pages — the
+	// default, and the policy the paper's evaluation uses.
+	GCGreedy = gc.Greedy
+	// GCCostBenefit weighs reclaimable space against age (Rosenblum's
+	// benefit/cost), preferring cold mostly-invalid victims.
+	GCCostBenefit = gc.CostBenefit
+	// GCCostAgeTimes additionally divides by wear, steering collections
+	// away from worn blocks.
+	GCCostAgeTimes = gc.CostAgeTimes
+)
+
+// GCPolicies returns the built-in policies in presentation order.
+func GCPolicies() []GCPolicy { return gc.Kinds() }
+
+// ParseGCPolicy maps a flag value to a GCPolicy, reporting whether the
+// name was recognized ("" parses as greedy, the default).
+func ParseGCPolicy(s string) (GCPolicy, bool) { return gc.ParseKind(s) }
 
 // Open-loop arrival processes (see internal/sim).
 const (
@@ -70,6 +96,14 @@ func ParseArrival(s string) (ArrivalKind, bool) { return sim.ParseArrival(s) }
 // run is deterministic given the streams' seeds.
 func RunOpenLoop(f FTL, streams []Stream, maxRequests int64) RunResult {
 	return sim.RunOpen(f, streams, maxRequests)
+}
+
+// RunOpenLoopWith is RunOpenLoop with explicit options; OpenOptions.
+// BackgroundGC moves garbage collection into device-idle gaps, preempted
+// by host arrivals (compare with the default foreground collection via
+// the gclat experiment).
+func RunOpenLoopWith(f FTL, streams []Stream, opt OpenOptions) RunResult {
+	return sim.RunOpenWith(f, streams, opt)
 }
 
 // Scheme identifies one of the reproduced FTL designs.

@@ -122,13 +122,19 @@ func TestExperimentRegistry(t *testing.T) {
 	ids := ExperimentIDs()
 	want := []string{"fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
 		"fig2", "fig20", "fig21", "fig22", "fig3", "fig6", "fig7",
-		"loadsweep", "table2", "tenantmix"}
+		"gclat", "gcsweep", "loadsweep", "table2", "tenantmix"}
 	if len(ids) != len(want) {
 		t.Fatalf("ids = %v", ids)
 	}
 	for i := range want {
 		if ids[i] != want[i] {
 			t.Fatalf("ids = %v, want %v", ids, want)
+		}
+	}
+	// Every registry entry carries a -list description.
+	for _, e := range ExperimentList() {
+		if e.Desc == "" || e.Run == nil {
+			t.Fatalf("experiment %q missing description or runner", e.ID)
 		}
 	}
 }

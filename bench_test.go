@@ -57,6 +57,40 @@ func BenchmarkFig21TailLatency(b *testing.B) { benchExperiment(b, "fig21") }
 func BenchmarkFig22Energy(b *testing.B)      { benchExperiment(b, "fig22") }
 func BenchmarkTable2Traces(b *testing.B)     { benchExperiment(b, "table2") }
 
+// GC subsystem experiments.
+
+func BenchmarkGCSweepExp(b *testing.B) { benchExperiment(b, "gcsweep") }
+func BenchmarkGCLatExp(b *testing.B)   { benchExperiment(b, "gclat") }
+
+// BenchmarkGC guards the relocation hot path of the pluggable collector:
+// sustained random single-page overwrites on a warmed device, where the
+// dominant cost is victim selection + relocation + erase. gc/op and
+// moved/op pin the collection cadence; allocs/op guards against the
+// relocation loop regressing into per-page heap traffic.
+func BenchmarkGC(b *testing.B) {
+	cfg := TinyConfig()
+	f, err := New(SchemeIdeal, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lp := cfg.LogicalPages()
+	sim.Warmed(f, workload.Warmup(lp, 2, 128, 1), 0)
+	rng := rand.New(rand.NewSource(9))
+	now := f.Flash().MaxChipBusy()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now = f.WritePages(rng.Int63n(lp), 1, now)
+	}
+	b.StopTimer()
+	col := f.Collector()
+	if b.N > 1000 && col.GCCount == 0 {
+		b.Fatal("no GC in benchmark window")
+	}
+	b.ReportMetric(float64(col.GCCount)/float64(b.N), "gc/op")
+	b.ReportMetric(float64(col.GCPagesMoved)/float64(b.N), "moved/op")
+}
+
 // BenchmarkFig15Ops regenerates Fig. 15 directly: the host-CPU cost of the
 // three operations LearnedFTL adds (sorting a GTD entry's LPNs, training its
 // model, one prediction).

@@ -10,7 +10,10 @@
 //	ftlbench -exp all -parallel -json   # also write BENCH_<timestamp>.json
 //	ftlbench -exp loadsweep             # open-loop latency vs offered IOPS
 //	ftlbench -exp tenantmix -rate 50000 # two tenants at 50k IOPS combined
-//	ftlbench -list                      # available experiment ids
+//	ftlbench -exp gcsweep -gc-policy greedy,costbenefit  # WA vs OP ratio
+//	ftlbench -exp gclat                 # foreground vs background GC tails
+//	ftlbench -exp fig16 -gc-policy costage  # any experiment, other policy
+//	ftlbench -list                      # experiment ids + descriptions
 //
 // -parallel fans the independent (scheme × workload) cells of each
 // experiment across GOMAXPROCS worker goroutines. Every cell builds its own
@@ -62,6 +65,9 @@ func main() {
 		rate        = flag.Float64("rate", 0, "open-loop offered IOPS (0 = derive ladder/operating point from the device)")
 		arrival     = flag.String("arrival", "poisson", "open-loop arrival process: poisson | fixed")
 		tenantShare = flag.Float64("tenant-share", 0, "tenantmix: fraction of offered load for the read tenant (0 = default 0.7)")
+
+		gcPolicy = flag.String("gc-policy", "", "GC victim-selection policies, comma-separated (greedy | costbenefit | costage); a single value also sets the device policy for every experiment, gcsweep sweeps the listed subset (\"\" = all)")
+		opRatio  = flag.Float64("op-ratio", 0, "gcsweep: single over-provisioning ratio (0 = ladder derived from the device config)")
 	)
 	flag.Parse()
 
@@ -73,8 +79,26 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Every listed policy must parse, and typos must fail loudly before any
+	// multi-hour run starts.
+	var policies []learnedftl.GCPolicy
+	if *gcPolicy != "" {
+		for _, s := range strings.Split(*gcPolicy, ",") {
+			name := strings.TrimSpace(s)
+			k, ok := learnedftl.ParseGCPolicy(name)
+			if !ok || name == "" { // empty elements are typos, not defaults
+				fmt.Fprintf(os.Stderr, "unknown GC policy %q (want one of %v)\n",
+					name, learnedftl.GCPolicies())
+				os.Exit(2)
+			}
+			policies = append(policies, k)
+		}
+	}
+
 	if *list {
-		fmt.Println(strings.Join(learnedftl.ExperimentIDs(), "\n"))
+		for _, e := range learnedftl.ExperimentList() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Desc)
+		}
 		return
 	}
 
@@ -98,6 +122,14 @@ func main() {
 	budget.OfferedIOPS = *rate
 	budget.Arrival = *arrival
 	budget.ReadTenantShare = *tenantShare
+	budget.GCPolicies = *gcPolicy
+	budget.OPRatio = *opRatio
+	// A single -gc-policy value also selects the device policy every other
+	// experiment runs under (gcsweep always builds per-cell configs from
+	// its own policy column).
+	if len(policies) == 1 {
+		cfg.GCPolicy = policies[0]
+	}
 	fmt.Printf("device: %s  logical pages: %d  budget: %d requests/run  workers: %d\n\n",
 		cfg.Geometry, cfg.LogicalPages(), budget.Requests, max(1, budget.Workers))
 

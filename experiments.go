@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"learnedftl/internal/gc"
 	"learnedftl/internal/learned"
 	"learnedftl/internal/nand"
 	"learnedftl/internal/sim"
@@ -45,6 +46,35 @@ type Budget struct {
 	// ReadTenantShare splits tenantmix's offered load between the
 	// WebSearch read tenant and the Systor write tenant (default 0.7).
 	ReadTenantShare float64 `json:"read_tenant_share,omitempty"`
+
+	// GC-experiment knobs (gcsweep / gclat). GCPolicies is a
+	// comma-separated subset of the victim-selection policies to sweep
+	// ("" = all of greedy, costbenefit, costage). OPRatio narrows
+	// gcsweep's over-provisioning ladder to a single ratio (0 = derive a
+	// ladder upward from the device config's ratio).
+	GCPolicies string  `json:"gc_policies,omitempty"`
+	OPRatio    float64 `json:"op_ratio,omitempty"`
+}
+
+// gcPolicyList resolves the budget's policy subset, erroring on typos so a
+// misspelled policy never silently collapses the sweep.
+func (b Budget) gcPolicyList() ([]gc.Kind, error) {
+	if b.GCPolicies == "" {
+		return gc.Kinds(), nil
+	}
+	var out []gc.Kind
+	for _, s := range strings.Split(b.GCPolicies, ",") {
+		name := strings.TrimSpace(s)
+		// An empty element (trailing or doubled comma) is a typo, not a
+		// request for the default policy.
+		k, ok := gc.ParseKind(name)
+		if !ok || name == "" {
+			return nil, fmt.Errorf("learnedftl: unknown GC policy %q (want one of %v)",
+				name, gc.Kinds())
+		}
+		out = append(out, k)
+	}
+	return out, nil
 }
 
 // openLoopKind resolves and validates the budget's arrival process for the
@@ -162,8 +192,17 @@ func measure(f FTL, gens []sim.Generator) stats.Report {
 	f.Collector().Reset()
 	f.Flash().ResetCounters()
 	res := sim.Run(f, gens, 0)
-	return stats.BuildReport(f.Name(), f.Collector(), f.Flash().Counters(),
-		res.Makespan(), f.Config().Geometry.PageSize, f.Config().Energy)
+	return report(f, res)
+}
+
+// report freezes a run into a stats.Report with the device's wear view
+// attached.
+func report(f FTL, res sim.Result) stats.Report {
+	cfg := f.Config()
+	r := stats.BuildReport(f.Name(), f.Collector(), f.Flash().Counters(),
+		res.Makespan(), cfg.Geometry.PageSize, cfg.Energy)
+	r.AddWear(f.Flash().Wear(), cfg.BlockEndurance, cfg.Geometry.TotalBytes())
+	return r
 }
 
 // measureFIO measures one FIO pattern.
@@ -180,11 +219,15 @@ func measureFIO(f FTL, p workload.Pattern, threads, ioPages, total int) stats.Re
 // summarizes, including the queue-wait decomposition and per-tenant
 // breakdown RunOpen records.
 func measureOpen(f FTL, streams []sim.Stream) stats.Report {
+	return measureOpenWith(f, streams, false)
+}
+
+// measureOpenWith is measureOpen with idle-gap background GC toggleable.
+func measureOpenWith(f FTL, streams []sim.Stream, backgroundGC bool) stats.Report {
 	f.Collector().Reset()
 	f.Flash().ResetCounters()
-	res := sim.RunOpen(f, streams, 0)
-	return stats.BuildReport(f.Name(), f.Collector(), f.Flash().Counters(),
-		res.Makespan(), f.Config().Geometry.PageSize, f.Config().Energy)
+	res := sim.RunOpenWith(f, streams, sim.OpenOptions{BackgroundGC: backgroundGC})
+	return report(f, res)
 }
 
 // idealRandReadIOPS anchors the open-loop experiments' offered load: the
@@ -875,27 +918,178 @@ func Table2(cfg Config, b Budget) (Table, error) {
 	return t, nil
 }
 
+// opLadder returns the over-provisioning ratios gcsweep measures: the
+// device config's own ratio plus three increments, clipped below the 0.5
+// validation bound (the ladder ascends so every scheme — including
+// LearnedFTL's row-hungry group allocator — constructs at every rung).
+// Budget.OPRatio > 0 narrows the ladder to that single ratio.
+func opLadder(cfg Config, b Budget) []float64 {
+	if b.OPRatio > 0 {
+		return []float64{b.OPRatio}
+	}
+	var out []float64
+	for _, d := range []float64{0, 0.04, 0.08, 0.12} {
+		if r := cfg.OPRatio + d; r < 0.5 {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// GCSweep measures write amplification, GC activity and wear versus the
+// over-provisioning ratio for every scheme × victim-selection policy:
+// random single-page overwrites on a warmed device, the workload where GC
+// dominates. WA falls monotonically as OP grows (more slack ⇒ emptier
+// victims ⇒ less relocation); the policy columns show what victim
+// selection buys at fixed OP. Budget.GCPolicies narrows the policy set,
+// Budget.OPRatio the ladder.
+func GCSweep(cfg Config, b Budget) (Table, error) {
+	pols, err := b.gcPolicyList()
+	if err != nil {
+		return Table{}, err
+	}
+	ratios := opLadder(cfg, b)
+	schemes := Schemes()
+	nCells := len(schemes) * len(pols) * len(ratios)
+	rows := make([][]string, nCells)
+	err = runCells(b, nCells, func(i int) error {
+		si := i / (len(pols) * len(ratios))
+		pi := i / len(ratios) % len(pols)
+		ri := i % len(ratios)
+		c := cfg
+		c.OPRatio = ratios[ri]
+		c.GCPolicy = pols[pi]
+		f, err := newWarmed(schemes[si], c, b.WarmExtra)
+		if err != nil {
+			return err
+		}
+		r := measureFIO(f, workload.RandWrite, b.Threads, 1, b.Requests)
+		movedPerGC := 0.0
+		if col := f.Collector(); col.GCCount > 0 {
+			movedPerGC = float64(col.GCPagesMoved) / float64(col.GCCount)
+		}
+		rows[i] = []string{
+			schemes[si].String(), string(pols[pi]), pct(ratios[ri]),
+			f2(r.WriteAmp), fmt.Sprint(r.GCCount), f1(movedPerGC),
+			fmt.Sprint(r.Wear.MaxErases), f2(r.Wear.CV), f1(r.LifetimeTBW),
+		}
+		return nil
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	return Table{
+		Title:  "GC sweep: write amplification and wear vs over-provisioning (randwrite; moved = pages relocated per GC; PE = erases)",
+		Header: []string{"FTL", "policy", "OP", "WA", "GCs", "moved/GC", "max PE", "PE CV", "life TB"},
+		Rows:   rows,
+	}, nil
+}
+
+// gcLatModes are the two collection modes gclat contrasts.
+var gcLatModes = []string{"foreground", "background"}
+
+// GCLat measures open-loop write tail latency under foreground-only versus
+// background garbage collection, per scheme, at a moderate offered load.
+// The default operating point is half of what the scheme itself sustains
+// under closed-loop random writes on the same warmed device (a per-cell
+// saturation probe), so every scheme sees real arrival gaps for background
+// collection to hide in — a device-wide anchor would overload the slow
+// schemes and starve the fast ones of GC pressure. Foreground mode charges
+// collections to the triggering write (the paper's tail mechanism);
+// background mode runs them in arrival gaps, cutting P99/P99.9.
+// Budget.OfferedIOPS overrides the operating point, Budget.Arrival the
+// arrival process.
+func GCLat(cfg Config, b Budget) (Table, error) {
+	kind, err := b.openLoopKind()
+	if err != nil {
+		return Table{}, err
+	}
+	threads := b.Threads
+	if threads < 1 {
+		threads = 1
+	}
+	schemes := Schemes()
+	rows := make([][]string, len(schemes)*len(gcLatModes))
+	err = runCells(b, len(rows), func(i int) error {
+		si, mi := i/len(gcLatModes), i%len(gcLatModes)
+		f, err := newWarmed(schemes[si], cfg, b.WarmExtra)
+		if err != nil {
+			return err
+		}
+		rate := b.OfferedIOPS
+		if rate <= 0 {
+			// Saturation probe: closed-loop randwrite on this very device.
+			// Deterministic, so the foreground and background cells of one
+			// scheme derive the same operating point.
+			probe := measureFIO(f, workload.RandWrite, threads, 1, b.Requests/2)
+			rate = 0.5 * probe.IOPS
+		}
+		per := b.Requests / threads
+		if per < 1 {
+			per = 1
+		}
+		streams := workload.OpenFIO("randwrite", workload.RandWrite,
+			f.Config().LogicalPages(), 1, threads, per, kind, rate, 2221)
+		r := measureOpenWith(f, streams, mi == 1)
+		rows[i] = []string{
+			schemes[si].String(), gcLatModes[mi], f0(rate), f0(r.IOPS),
+			lat(r.MeanLat), lat(r.P99), lat(r.P999), pct(r.WaitShare),
+			fmt.Sprint(r.GCCount), fmt.Sprint(r.BGGCCount),
+		}
+		return nil
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	return Table{
+		Title:  "GC latency: open-loop randwrite tails, foreground vs background collection",
+		Header: []string{"FTL", "gc mode", "offered IOPS", "achieved IOPS", "mean", "p99", "p99.9", "wait", "GCs", "bg GCs"},
+		Rows:   rows,
+	}, nil
+}
+
+// ExperimentInfo describes one runnable experiment for the registry and
+// the ftlbench -list table.
+type ExperimentInfo struct {
+	ID   string
+	Desc string
+	Run  func(Config, Budget) (Table, error)
+}
+
+// ExperimentList returns every experiment in presentation order (paper
+// figures first, then the simulator's own experiments).
+func ExperimentList() []ExperimentInfo {
+	return []ExperimentInfo{
+		{"fig2", "TPFTL seq/rand read throughput + CMT hit vs thread count", Fig2},
+		{"fig3", "TPFTL CMT hit ratio vs CMT size (0.1%-50%)", Fig3},
+		{"fig6", "LeaFTL vs TPFTL random reads; single/double/triple breakdown", Fig6},
+		{"fig7", "TPFTL vs LeaFTL on Filebench personalities", Fig7},
+		{"fig14", "headline FIO comparison: all five FTLs x four patterns", Fig14},
+		{"fig15", "host-CPU cost of sorting / training / prediction (wall clock)",
+			func(Config, Budget) (Table, error) { return Fig15() }},
+		{"fig16", "GC count and frequency under FIO writes", Fig16},
+		{"fig17", "sorting+training share of LearnedFTL GC time", Fig17},
+		{"fig18", "LearnedFTL overhead ablations (training charge, prediction cost)", Fig18},
+		{"fig19", "RocksDB db_bench readrandom/readseq model", Fig19},
+		{"fig20", "Filebench throughput, all five FTLs", Fig20},
+		{"fig21", "P99/P99.9 tail latency under Table II traces", Fig21},
+		{"fig22", "energy under Table II traces, normalized to TPFTL", Fig22},
+		{"table2", "trace-generator self-check against published statistics", Table2},
+		{"loadsweep", "open-loop latency vs offered IOPS for all five FTLs", LoadSweep},
+		{"tenantmix", "two rate-controlled tenants sharing one device", TenantMixExp},
+		{"gcsweep", "write amplification and wear vs over-provisioning x GC policy", GCSweep},
+		{"gclat", "open-loop write tails: foreground vs background GC", GCLat},
+	}
+}
+
 // Experiments maps experiment ids to runners; cmd/ftlbench and the README
 // use these ids.
 func Experiments() map[string]func(Config, Budget) (Table, error) {
-	return map[string]func(Config, Budget) (Table, error){
-		"fig2":      Fig2,
-		"fig3":      Fig3,
-		"fig6":      Fig6,
-		"fig7":      Fig7,
-		"fig14":     Fig14,
-		"fig15":     func(Config, Budget) (Table, error) { return Fig15() },
-		"fig16":     Fig16,
-		"fig17":     Fig17,
-		"fig18":     Fig18,
-		"fig19":     Fig19,
-		"fig20":     Fig20,
-		"fig21":     Fig21,
-		"fig22":     Fig22,
-		"table2":    Table2,
-		"loadsweep": LoadSweep,
-		"tenantmix": TenantMixExp,
+	m := make(map[string]func(Config, Budget) (Table, error))
+	for _, e := range ExperimentList() {
+		m[e.ID] = e.Run
 	}
+	return m
 }
 
 // ExperimentIDs returns the sorted experiment ids.

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"learnedftl/internal/ftl"
+	"learnedftl/internal/gc"
 	"learnedftl/internal/learned"
 	"learnedftl/internal/mapping"
 	"learnedftl/internal/nand"
@@ -88,6 +89,10 @@ type LearnedFTL struct {
 	tp      *transPool
 	emaLen  float64
 	pending []int // groups whose encroachment crossed the GC threshold
+
+	// gcPol scores group victims for the non-default GC policies; nil for
+	// greedy, which keeps the paper's §III-D most-invalid-group rule.
+	gcPol gc.Policy
 
 	inGC bool
 }
@@ -170,6 +175,13 @@ func New(cfg ftl.Config, opt Options) (*LearnedFTL, error) {
 	for r := g.BlocksPerUnit - 1; r >= transRows; r-- {
 		f.freeRows = append(f.freeRows, r)
 	}
+	// Group victim selection follows cfg.GCPolicy. Greedy stays on the
+	// paper's literal rule ("GC is performed on the GTD entry group with
+	// the most invalid data pages"); the other policies score groups
+	// through the shared gc.Policy implementations.
+	if kind, _ := gc.ParseKind(string(cfg.GCPolicy)); kind != gc.Greedy {
+		f.gcPol = gc.MustPolicy(kind)
+	}
 	return f, nil
 }
 
@@ -190,6 +202,45 @@ func (f *LearnedFTL) LogicalPages() int64 { return int64(len(f.l2p)) }
 
 // Mapped reports whether lpn holds data.
 func (f *LearnedFTL) Mapped(lpn int64) bool { return f.l2p[lpn] != nand.InvalidPPN }
+
+// TrimPages implements ftl.FTL: drop the mappings of n consecutive LPNs,
+// invalidating their flash pages (free reclaim for group GC), clearing the
+// cached mappings and the model bitmap bits. A metadata operation — no
+// flash I/O, no time advance.
+func (f *LearnedFTL) TrimPages(lpn int64, n int, now nand.Time) nand.Time {
+	live := 0
+	for k := 0; k < n; k++ {
+		l := lpn + int64(k)
+		tpn := f.cfg.TPNOf(l)
+		f.models[tpn].Invalidate(int(l - int64(tpn)*int64(f.cfg.EntriesPerTP)))
+		f.cmt.Remove(l)
+		if old := f.l2p[l]; old != nand.InvalidPPN {
+			f.invalidateData(old)
+			f.l2p[l] = nand.InvalidPPN
+			live++
+		}
+	}
+	f.col.RecordTrim(n, live)
+	return now
+}
+
+// BackgroundGC implements ftl.BackgroundCollector: during a device-idle
+// gap, collect groups whose reclaimable pages cover at least one whole
+// superblock row, so the write path rarely has to collect in the
+// foreground. New collections launch only before the deadline; a running
+// one completes (arrivals queue behind it per chip).
+func (f *LearnedFTL) BackgroundGC(start, deadline nand.Time) nand.Time {
+	now := start
+	for now < deadline && !f.inGC {
+		victim, invalid := f.victimGroup(now)
+		if invalid < f.sbPages {
+			break
+		}
+		f.col.RecordBGGC()
+		now = f.gcGroup(victim, now)
+	}
+	return now
+}
 
 // CMT exposes the mapping cache (tests, experiments).
 func (f *LearnedFTL) CMT() *mapping.CMT { return f.cmt }

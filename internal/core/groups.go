@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"learnedftl/internal/gc"
 	"learnedftl/internal/nand"
 )
 
@@ -99,7 +100,7 @@ func (f *LearnedFTL) allocSlot(gid int, now nand.Time) (int64, nand.Time) {
 			}
 			panic("core: reserve exhausted during GC evacuation")
 		}
-		victim, invalid := f.mostInvalidGroup()
+		victim, invalid := f.victimGroup(now)
 		if invalid >= f.sbPages {
 			now = f.gcGroup(victim, now)
 			continue
@@ -130,15 +131,93 @@ func (f *LearnedFTL) allocSlot(gid int, now nand.Time) (int64, nand.Time) {
 func (f *LearnedFTL) mostInvalidGroup() (int, int) {
 	victim, best := 0, -1
 	for id := range f.groups {
-		inv := 0
-		for _, r := range f.groups[id].rows {
-			inv += f.rowInvalid[r]
-		}
-		if inv > best {
+		if inv := f.groupInvalid(id); inv > best {
 			victim, best = id, inv
 		}
 	}
 	return victim, best
+}
+
+// groupInvalid returns the invalid data-page count across a group's rows.
+func (f *LearnedFTL) groupInvalid(gid int) int {
+	inv := 0
+	for _, r := range f.groups[gid].rows {
+		inv += f.rowInvalid[r]
+	}
+	return inv
+}
+
+// victimGroup picks the group-GC victim and returns it with its invalid
+// count (the callers' reclaim-gain threshold input). Greedy — the default
+// and the paper's configuration — is the literal §III-D rule via
+// mostInvalidGroup; the other policies score group candidates through the
+// shared gc.Policy implementations, with ties falling to the lowest group
+// id (ascending enumeration, strict comparison). Zero-gain groups are
+// never scored (cost-benefit would rank a freshly emptied group at +Inf
+// forever, starving collection); when nothing is reclaimable the paper
+// rule decides the forced-GC fallback.
+func (f *LearnedFTL) victimGroup(now nand.Time) (int, int) {
+	if f.gcPol == nil {
+		return f.mostInvalidGroup()
+	}
+	victim, bestInv := -1, 0
+	var bestScore float64
+	for id := range f.groups {
+		c := f.groupCandidate(id, now)
+		if c.Invalid == 0 {
+			continue
+		}
+		s := f.gcPol.Score(c)
+		if victim == -1 || s > bestScore {
+			victim, bestInv, bestScore = id, c.Invalid, s
+		}
+	}
+	if victim == -1 {
+		return f.mostInvalidGroup()
+	}
+	return victim, bestInv
+}
+
+// groupCandidate summarizes one group for policy scoring: live/invalid
+// pages across its rows, wear as the max erase count of its blocks, age
+// since the most recent program into any of them.
+func (f *LearnedFTL) groupCandidate(gid int, now nand.Time) gc.Candidate {
+	g := &f.groups[gid]
+	geo := f.fl.Geometry()
+	written, invalid := 0, 0
+	var erases int64
+	var lastMod nand.Time
+	for i, row := range g.rows {
+		if i == len(g.rows)-1 {
+			written += g.wp
+		} else {
+			written += f.sbPages
+		}
+		invalid += f.rowInvalid[row]
+		for u := 0; u < geo.Units(); u++ {
+			blk := u*geo.BlocksPerUnit + row
+			if e := f.fl.BlockErases(blk); e > erases {
+				erases = e
+			}
+			if m := f.fl.BlockLastMod(blk); m > lastMod {
+				lastMod = m
+			}
+		}
+	}
+	// lastMod is a program *completion* time and may sit past the GC
+	// trigger time on another chip; clamp so age never goes negative.
+	age := now - lastMod
+	if age < 0 {
+		age = 0
+	}
+	return gc.Candidate{
+		ID:       gid,
+		Valid:    written - invalid,
+		Invalid:  invalid,
+		Capacity: len(g.rows) * f.sbPages,
+		Erases:   erases,
+		Age:      age,
+	}
 }
 
 // runPendingGC collects donor groups whose encroachment crossed the
@@ -153,11 +232,7 @@ func (f *LearnedFTL) runPendingGC(now nand.Time) nand.Time {
 		if !g.pendingGC {
 			continue
 		}
-		inv := 0
-		for _, r := range g.rows {
-			inv += f.rowInvalid[r]
-		}
-		if inv >= f.sbPages/2 {
+		if f.groupInvalid(gid) >= f.sbPages/2 {
 			now = f.gcGroup(gid, now)
 		} else {
 			// Not worth collecting yet; keep the encroach count so the
@@ -174,7 +249,7 @@ func (f *LearnedFTL) runPendingGC(now nand.Time) nand.Time {
 // reclaimable yet).
 func (f *LearnedFTL) replenishReserve(now nand.Time) nand.Time {
 	for !f.inGC && len(f.freeRows) < f.reserve {
-		victim, invalid := f.mostInvalidGroup()
+		victim, invalid := f.victimGroup(now)
 		if invalid == 0 {
 			break
 		}
@@ -237,6 +312,8 @@ func (f *LearnedFTL) gcGroup(gid int, now nand.Time) nand.Time {
 		}
 	}
 	f.col.RecordGC(now, moved, t-now)
+	cnt := f.fl.Counters()
+	f.col.RecordWASample(t, cnt.TotalPrograms())
 	return t
 }
 

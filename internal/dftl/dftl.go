@@ -108,6 +108,12 @@ func (d *DFTL) DataRelocated(lpn int64, _, newPPN nand.PPN) {
 	d.cmt.UpdatePPN(lpn, newPPN)
 }
 
+// DataTrimmed implements ftl.RelocHooks: a trimmed LPN must not serve a
+// stale PPN from the cache.
+func (d *DFTL) DataTrimmed(lpn int64, _ nand.PPN) {
+	d.cmt.Remove(lpn)
+}
+
 // GCFinalize implements ftl.RelocHooks: persist the new locations of every
 // translation page GC touched. A greedy victim's pages usually scatter over
 // many translation pages, so dynamic allocation pays one RMW per affected

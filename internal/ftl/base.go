@@ -2,8 +2,8 @@ package ftl
 
 import (
 	"fmt"
-	"sort"
 
+	"learnedftl/internal/gc"
 	"learnedftl/internal/mapping"
 	"learnedftl/internal/nand"
 	"learnedftl/internal/stats"
@@ -20,6 +20,10 @@ type RelocHooks interface {
 	// relocation; it performs the scheme's translation-page maintenance
 	// and returns the advanced time.
 	GCFinalize(moved []int64, t nand.Time) nand.Time
+	// DataTrimmed fires for every LPN a host TRIM covered, after the L2P
+	// entry was dropped (old is InvalidPPN when the LPN held no flash
+	// data); the scheme drops its cached state for the LPN.
+	DataTrimmed(lpn int64, old nand.PPN)
 }
 
 // NopHooks is a RelocHooks with no translation structures (ideal FTL).
@@ -31,9 +35,25 @@ func (NopHooks) DataRelocated(int64, nand.PPN, nand.PPN) {}
 // GCFinalize implements RelocHooks.
 func (NopHooks) GCFinalize(_ []int64, t nand.Time) nand.Time { return t }
 
+// DataTrimmed implements RelocHooks.
+func (NopHooks) DataTrimmed(int64, nand.PPN) {}
+
+// BackgroundCollector is the optional capability the open-loop host model
+// probes for: an FTL that can run garbage collection during device-idle
+// gaps, preempted by the next host arrival. Base (and so every
+// block-granular scheme) and LearnedFTL implement it.
+type BackgroundCollector interface {
+	// BackgroundGC collects during the idle gap [start, deadline): new
+	// collections launch only before the deadline; one already running
+	// completes (arrivals queue behind it per chip). Returns the advanced
+	// virtual time.
+	BackgroundGC(start, deadline nand.Time) nand.Time
+}
+
 // Base bundles the state every dynamic-allocation FTL shares: the flash
 // array, the logical-to-physical shadow map (ground truth), the block
-// manager, the GTD and the metrics sink. Concrete FTLs embed it.
+// manager, the GTD, the garbage-collection controller and the metrics sink.
+// Concrete FTLs embed it.
 type Base struct {
 	Cfg   Config
 	Fl    *nand.Flash
@@ -41,6 +61,10 @@ type Base struct {
 	Col   *stats.Collector
 	BM    *BlockMan
 	GTD   *mapping.GTD
+
+	// GC owns victim selection (per Cfg.GCPolicy), the trigger watermarks
+	// and the relocation mechanics.
+	GC *gc.Controller
 
 	// L2P is the authoritative logical-to-physical map. Translation pages
 	// and caches control when flash operations happen; correctness of the
@@ -55,8 +79,6 @@ type Base struct {
 	// relocation to train segments; DFTL-family keeps victim-chip
 	// locality).
 	SortRelocate bool
-
-	inGC bool
 }
 
 // NewBase builds the shared device state for cfg.
@@ -68,12 +90,16 @@ func NewBase(cfg Config) (*Base, error) {
 	if err != nil {
 		return nil, err
 	}
+	pol, err := gc.NewPolicy(cfg.GCPolicy)
+	if err != nil {
+		return nil, err
+	}
 	lp := cfg.LogicalPages()
 	l2p := make([]nand.PPN, lp)
 	for i := range l2p {
 		l2p[i] = nand.InvalidPPN
 	}
-	return &Base{
+	b := &Base{
 		Cfg:   cfg,
 		Fl:    fl,
 		Codec: fl.Codec(),
@@ -82,7 +108,9 @@ func NewBase(cfg Config) (*Base, error) {
 		GTD:   mapping.NewGTD(cfg.NumTPNs()),
 		L2P:   l2p,
 		Hooks: NopHooks{},
-	}, nil
+	}
+	b.GC = gc.NewController(fl, b.BM, b, b.Col, pol, cfg.GCLowWater, cfg.GCBGWater)
+	return b, nil
 }
 
 // Collector implements FTL.
@@ -96,6 +124,25 @@ func (b *Base) Config() Config { return b.Cfg }
 
 // Mapped reports whether lpn currently has flash-resident data.
 func (b *Base) Mapped(lpn int64) bool { return b.L2P[lpn] != nand.InvalidPPN }
+
+// PageRelocated implements gc.Host: repoint the GTD for moved translation
+// pages, the shadow map (plus the scheme's caches) for moved data pages.
+func (b *Base) PageRelocated(oob nand.OOB, old, new nand.PPN) {
+	if oob.Trans {
+		b.GTD.Update(int(oob.Key), new)
+		return
+	}
+	b.L2P[oob.Key] = new
+	b.Hooks.DataRelocated(oob.Key, old, new)
+}
+
+// Finalize implements gc.Host.
+func (b *Base) Finalize(moved []int64, t nand.Time) nand.Time {
+	return b.Hooks.GCFinalize(moved, t)
+}
+
+// SortByLPN implements gc.Host.
+func (b *Base) SortByLPN() bool { return b.SortRelocate }
 
 // mustProgram wraps Flash.Program; allocation and programming are paired in
 // this package, so a failure is an internal invariant violation.
@@ -114,7 +161,8 @@ func (b *Base) HostProgram(lpn int64, after nand.Time) (nand.PPN, nand.Time) {
 	now := b.RunGC(after)
 	ppn, ok := b.BM.AllocPage(false)
 	if !ok {
-		panic("ftl: allocation failed after GC")
+		panic(fmt.Sprintf("ftl: allocation failed after GC (free=%d, gc err: %v)",
+			b.BM.FreeBlocks(), b.GC.LastErr()))
 	}
 	done := b.mustProgram(ppn, nand.OOB{Key: lpn}, now, nand.OpHostData)
 	if old := b.L2P[lpn]; old != nand.InvalidPPN {
@@ -124,6 +172,29 @@ func (b *Base) HostProgram(lpn int64, after nand.Time) (nand.PPN, nand.Time) {
 	}
 	b.L2P[lpn] = ppn
 	return ppn, done
+}
+
+// TrimPages implements the FTL TRIM path for every Base-embedding scheme:
+// each mapped LPN's flash page is invalidated and its mapping dropped; the
+// scheme's DataTrimmed hook fires for every covered LPN (mapped or not) so
+// cached mappings and write buffers forget it too. TRIM is a metadata
+// operation — no flash I/O, no time advance.
+func (b *Base) TrimPages(lpn int64, n int, now nand.Time) nand.Time {
+	live := 0
+	for k := 0; k < n; k++ {
+		l := lpn + int64(k)
+		old := b.L2P[l]
+		if old != nand.InvalidPPN {
+			if err := b.Fl.Invalidate(old); err != nil {
+				panic(fmt.Sprintf("ftl: %v", err))
+			}
+			b.L2P[l] = nand.InvalidPPN
+			live++
+		}
+		b.Hooks.DataTrimmed(l, old)
+	}
+	b.Col.RecordTrim(n, live)
+	return now
 }
 
 // ReadTrans reads the translation page tpn from flash (a translation read —
@@ -149,9 +220,19 @@ func (b *Base) UpdateTrans(tpn int, doRead bool, after nand.Time) nand.Time {
 			now = b.Fl.Read(old, now, nand.OpTranslation)
 		}
 	}
-	ppn, ok := b.BM.AllocPage(true)
+	// Translation maintenance fired from inside a collection (relocation
+	// hooks) is part of GC and may use the reserved free block; ordinary
+	// host-path updates must leave it for GC.
+	var ppn nand.PPN
+	var ok bool
+	if b.GC.InGC() {
+		ppn, ok = b.BM.AllocGCPage(true)
+	} else {
+		ppn, ok = b.BM.AllocPage(true)
+	}
 	if !ok {
-		panic("ftl: translation allocation failed after GC")
+		panic(fmt.Sprintf("ftl: translation allocation failed after GC (free=%d, gc err: %v)",
+			b.BM.FreeBlocks(), b.GC.LastErr()))
 	}
 	now = b.mustProgram(ppn, nand.OOB{Key: int64(tpn), Trans: true}, now, nand.OpTranslation)
 	if old != nand.InvalidPPN {
@@ -163,94 +244,16 @@ func (b *Base) UpdateTrans(tpn int, doRead bool, after nand.Time) nand.Time {
 	return now
 }
 
-// RunGC performs greedy garbage collection until the free-block pool is
-// above the low watermark, returning the advanced virtual time. GC runs in
-// the foreground: the triggering request absorbs its full latency, which is
-// the paper's tail-latency mechanism.
+// RunGC performs foreground garbage collection until the free-block pool is
+// above the low watermark, returning the advanced virtual time. The
+// triggering request absorbs the full latency, which is the paper's
+// tail-latency mechanism.
 func (b *Base) RunGC(now nand.Time) nand.Time {
-	if b.inGC {
-		return now
-	}
-	for b.BM.FreeBlocks() <= b.Cfg.GCLowWater {
-		done, ok := b.gcOnce(now)
-		if !ok {
-			break
-		}
-		now = done
-	}
-	return now
+	return b.GC.Foreground(now)
 }
 
-// gcOnce collects one victim block.
-func (b *Base) gcOnce(now nand.Time) (nand.Time, bool) {
-	victim := b.BM.VictimBlock()
-	if victim < 0 {
-		return now, false
-	}
-	b.inGC = true
-	defer func() { b.inGC = false }()
-
-	g := b.Fl.Geometry()
-	base := b.Codec.Encode(b.Codec.BlockAddr(victim))
-	t := now
-
-	type vp struct {
-		ppn nand.PPN
-		oob nand.OOB
-	}
-	var pages []vp
-	for i := 0; i < g.PagesPerBlock; i++ {
-		p := base + nand.PPN(i)
-		if b.Fl.State(p) == nand.PageValid {
-			pages = append(pages, vp{p, b.Fl.PageOOB(p)})
-		}
-	}
-	if b.SortRelocate {
-		sort.Slice(pages, func(i, j int) bool { return pages[i].oob.Key < pages[j].oob.Key })
-	}
-
-	// Relocation overlaps across chips, as FEMU's GC does: every page's
-	// read issues against the collection start time (per-chip queueing
-	// serializes same-chip reads), and its program depends only on its own
-	// read. The collection ends when the slowest chain finishes.
-	victimChip := b.Codec.Chip(base)
-	var moved []int64
-	for _, p := range pages {
-		readDone := b.Fl.Read(p.ppn, now, nand.OpGC)
-		var np nand.PPN
-		var ok bool
-		if b.SortRelocate {
-			np, ok = b.BM.AllocPage(p.oob.Trans)
-		} else {
-			np, ok = b.BM.AllocPageOnChip(victimChip, p.oob.Trans)
-		}
-		if !ok {
-			panic(fmt.Sprintf("ftl: GC relocation allocation failed (free=%d victim=%d valid=%d trans=%v)",
-				b.BM.FreeBlocks(), victim, len(pages), p.oob.Trans))
-		}
-		if done := b.mustProgram(np, p.oob, readDone, nand.OpGC); done > t {
-			t = done
-		}
-		if err := b.Fl.Invalidate(p.ppn); err != nil {
-			panic(fmt.Sprintf("ftl: %v", err))
-		}
-		if p.oob.Trans {
-			b.GTD.Update(int(p.oob.Key), np)
-		} else {
-			lpn := p.oob.Key
-			old := p.ppn
-			b.L2P[lpn] = np
-			moved = append(moved, lpn)
-			b.Hooks.DataRelocated(lpn, old, np)
-		}
-	}
-	eraseDone, err := b.Fl.Erase(victim, t)
-	if err != nil {
-		panic(fmt.Sprintf("ftl: %v", err))
-	}
-	t = eraseDone
-	b.BM.Release(victim)
-	t = b.Hooks.GCFinalize(moved, t)
-	b.Col.RecordGC(now, len(pages), t-now)
-	return t, true
+// BackgroundGC implements BackgroundCollector by delegating to the
+// controller's idle-gap collection.
+func (b *Base) BackgroundGC(start, deadline nand.Time) nand.Time {
+	return b.GC.Background(start, deadline)
 }

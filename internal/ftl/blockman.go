@@ -2,6 +2,21 @@ package ftl
 
 import "learnedftl/internal/nand"
 
+// gcReserve is the number of free blocks host allocations must leave in
+// the device-wide pool: the last free block belongs to garbage collection.
+// A victim block holds at most PagesPerBlock−1 valid pages (all-valid
+// blocks are never victims), so one reserved block always covers a
+// collection's relocation target, and the erase at the end restores the
+// reserve — inductively, a collection can never strand the device. This is
+// the invariant that makes GC allocation failure (formerly a panic deep
+// inside gcOnce) unreachable while any victim exists; the controller
+// returns gc.ErrNoSpace gracefully in the truly-overcommitted case.
+//
+// The reserve only binds when the free pool is down to its final block —
+// a state the GC watermarks keep ordinary runs far away from — so default
+// foreground behavior is bit-for-bit unchanged.
+const gcReserve = 1
+
 // BlockMan implements the dynamic allocation strategy used by DFTL, TPFTL,
 // LeaFTL and the ideal FTL (and by every scheme for translation pages): each
 // chip has an active block per stream; new pages go to the least-busy chip,
@@ -67,25 +82,42 @@ func (b *BlockMan) active(trans bool) []int {
 	return b.activeData
 }
 
-// chipHasSpace reports whether a chip can absorb one more page for a stream.
-func (b *BlockMan) chipHasSpace(chip int, trans bool) bool {
+// chipHasSpace reports whether a chip can absorb one more page for a
+// stream. Host allocations (gcAlloc false) may not open the device's
+// reserved last free block — it belongs to GC relocation — but can always
+// continue an active block that still has free pages.
+func (b *BlockMan) chipHasSpace(chip int, trans, gcAlloc bool) bool {
 	act := b.active(trans)[chip]
 	if act >= 0 && b.f.BlockFreePages(act) > 0 {
 		return true
 	}
-	return len(b.free[chip]) > 0
+	if len(b.free[chip]) == 0 {
+		return false
+	}
+	return gcAlloc || b.freeCount > gcReserve
 }
 
 // AllocPage reserves the next programmable page for the given stream on the
 // least-busy chip, opening a fresh block when the active one is full.
 // The caller must Program the returned PPN before the next AllocPage on the
-// same chip (NAND in-order constraint). ok is false when no chip has space —
-// the caller must garbage-collect first.
+// same chip (NAND in-order constraint). ok is false when no chip has space
+// outside the GC reserve — the caller must garbage-collect first.
 func (b *BlockMan) AllocPage(trans bool) (nand.PPN, bool) {
+	return b.allocLeastBusy(trans, false)
+}
+
+// AllocGCPage is AllocPage for GC relocation: it may dip into the
+// device-wide reserved last free block, which is what lets a collection
+// complete on a device the host has written to the allocation limit.
+func (b *BlockMan) AllocGCPage(trans bool) (nand.PPN, bool) {
+	return b.allocLeastBusy(trans, true)
+}
+
+func (b *BlockMan) allocLeastBusy(trans, gcAlloc bool) (nand.PPN, bool) {
 	best := -1
 	var bestBusy nand.Time
 	for _, chip := range b.scanOrder {
-		if !b.chipHasSpace(chip, trans) {
+		if !b.chipHasSpace(chip, trans, gcAlloc) {
 			continue
 		}
 		busy := b.f.ChipBusyUntil(chip)
@@ -99,12 +131,12 @@ func (b *BlockMan) AllocPage(trans bool) (nand.PPN, bool) {
 	return b.allocOn(best, trans)
 }
 
-// AllocPageOnChip reserves the next page for a stream on a specific chip
-// (GC relocation keeps pages on the victim's chip when possible to bound
-// interference). Falls back to AllocPage when the chip is out of space.
-func (b *BlockMan) AllocPageOnChip(chip int, trans bool) (nand.PPN, bool) {
-	if !b.chipHasSpace(chip, trans) {
-		return b.AllocPage(trans)
+// AllocGCPageOnChip reserves the next relocation page on a specific chip
+// (GC keeps pages on the victim's chip when possible to bound
+// interference). Falls back to AllocGCPage when the chip is out of space.
+func (b *BlockMan) AllocGCPageOnChip(chip int, trans bool) (nand.PPN, bool) {
+	if !b.chipHasSpace(chip, trans, true) {
+		return b.AllocGCPage(trans)
 	}
 	return b.allocOn(chip, trans)
 }
@@ -139,28 +171,4 @@ func (b *BlockMan) Release(blockID int) {
 func (b *BlockMan) IsActive(blockID int) bool {
 	chip := b.codec.Chip(b.codec.Encode(b.codec.BlockAddr(blockID)))
 	return b.activeData[chip] == blockID || b.activeTrans[chip] == blockID
-}
-
-// VictimBlock picks the greedy GC victim: the non-active, non-free block
-// with the fewest valid pages. Returns -1 when no candidate would reclaim
-// anything (collecting an all-valid block costs a block's worth of
-// relocation for zero gain and can livelock the GC loop).
-func (b *BlockMan) VictimBlock() int {
-	g := b.f.Geometry()
-	victim := -1
-	bestValid := g.PagesPerBlock + 1
-	for blk := 0; blk < g.TotalBlocks(); blk++ {
-		wp := b.f.BlockWritePtr(blk)
-		if wp == 0 || b.IsActive(blk) {
-			continue
-		}
-		v := b.f.BlockValid(blk)
-		if v >= wp {
-			continue // nothing invalid to reclaim
-		}
-		if v < bestValid {
-			victim, bestValid = blk, v
-		}
-	}
-	return victim
 }

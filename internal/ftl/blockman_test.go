@@ -10,9 +10,9 @@ func TestAllocPageOnChipPrefersChip(t *testing.T) {
 	cfg := testConfig()
 	b, _ := NewBase(cfg)
 	chip := 3
-	p, ok := b.BM.AllocPageOnChip(chip, false)
+	p, ok := b.BM.AllocGCPageOnChip(chip, false)
 	if !ok || b.Codec.Chip(p) != chip {
-		t.Fatalf("AllocPageOnChip(3) gave chip %d", b.Codec.Chip(p))
+		t.Fatalf("AllocGCPageOnChip(3) gave chip %d", b.Codec.Chip(p))
 	}
 }
 
@@ -25,7 +25,7 @@ func TestAllocPageOnChipFallsBack(t *testing.T) {
 	blocksPerChip := g.Planes * g.BlocksPerUnit
 	for blk := 0; blk < blocksPerChip; blk++ {
 		for {
-			p, ok := b.BM.AllocPageOnChip(chip, false)
+			p, ok := b.BM.AllocGCPageOnChip(chip, false)
 			if !ok {
 				t.Fatal("allocation failed before exhaustion")
 			}
@@ -82,14 +82,14 @@ func TestVictimBlockSkipsZeroGain(t *testing.T) {
 	for i := 0; i < g.PagesPerBlock; i++ {
 		b.mustProgram(nand.PPN(i), nand.OOB{Key: int64(i)}, 0, nand.OpHostData)
 	}
-	if v := b.BM.VictimBlock(); v != -1 {
+	if v := b.GC.Victim(0); v != -1 {
 		t.Fatalf("all-valid block chosen as victim: %d", v)
 	}
 	// One invalidation makes it eligible.
 	if err := b.Fl.Invalidate(nand.PPN(0)); err != nil {
 		t.Fatal(err)
 	}
-	if v := b.BM.VictimBlock(); v != 0 {
+	if v := b.GC.Victim(0); v != 0 {
 		t.Fatalf("victim = %d, want 0", v)
 	}
 }
@@ -108,7 +108,7 @@ func TestSortRelocateOrdersByLPN(t *testing.T) {
 		t.Fatal(err)
 	}
 	b.L2P[int64(g.PagesPerBlock)] = nand.InvalidPPN
-	done, ok := b.gcOnce(0)
+	done, ok := b.GC.CollectOnce(0)
 	if !ok || done <= 0 {
 		t.Fatal("GC did not run")
 	}

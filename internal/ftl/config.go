@@ -8,6 +8,7 @@ package ftl
 import (
 	"fmt"
 
+	"learnedftl/internal/gc"
 	"learnedftl/internal/nand"
 	"learnedftl/internal/stats"
 )
@@ -52,6 +53,20 @@ type Config struct {
 	// drops to this value.
 	GCLowWater int
 
+	// GCPolicy selects the victim-selection policy ("" = greedy). The
+	// block-granular FTLs score whole blocks; LearnedFTL scores GTD entry
+	// groups with the same policy kinds.
+	GCPolicy gc.Kind
+
+	// GCBGWater is the background-collection target: idle-gap GC (open-loop
+	// host model) tops the free pool up to this many blocks. Zero derives
+	// 2×GCLowWater.
+	GCBGWater int
+
+	// BlockEndurance is the rated program/erase cycles per block, used only
+	// for the projected-lifetime report (typical TLC: 3000).
+	BlockEndurance int64
+
 	// GroupSuperblocks is the number of superblocks a GTD entry group may
 	// accumulate before group GC triggers (LearnedFTL).
 	GroupSuperblocks int
@@ -74,6 +89,8 @@ func DefaultConfig(g nand.Geometry) Config {
 		// block for both the data and translation streams; anything
 		// smaller can wedge a 64-chip device mid-collection.
 		GCLowWater:       max(4, 2*g.Chips()),
+		GCPolicy:         gc.Greedy,
+		BlockEndurance:   3000,
 		GroupSuperblocks: 3,
 	}
 }
@@ -133,6 +150,9 @@ func (c Config) Validate() error {
 	if c.GCLowWater < 2 {
 		return fmt.Errorf("ftl: GCLowWater must be >= 2")
 	}
+	if _, ok := gc.ParseKind(string(c.GCPolicy)); !ok {
+		return fmt.Errorf("ftl: unknown GC policy %q (want one of %v)", c.GCPolicy, gc.Kinds())
+	}
 	return nil
 }
 
@@ -145,6 +165,10 @@ type FTL interface {
 	ReadPages(lpn int64, n int, now nand.Time) nand.Time
 	// WritePages serves a host write of n consecutive pages starting at lpn.
 	WritePages(lpn int64, n int, now nand.Time) nand.Time
+	// TrimPages serves a host TRIM/Discard of n consecutive pages starting
+	// at lpn: the mappings are dropped and the flash pages invalidated so
+	// GC reclaims them for free. A metadata operation — no flash I/O.
+	TrimPages(lpn int64, n int, now nand.Time) nand.Time
 	// Collector exposes the metrics sink.
 	Collector() *stats.Collector
 	// Flash exposes the underlying flash array.

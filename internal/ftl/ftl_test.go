@@ -114,7 +114,7 @@ func TestVictimBlockPicksMostInvalid(t *testing.T) {
 	if err := b.Fl.Invalidate(b.Codec.Encode(b.Codec.BlockAddr(blkA))); err != nil {
 		t.Fatal(err)
 	}
-	if v := b.BM.VictimBlock(); v != blkB {
+	if v := b.GC.Victim(0); v != blkB {
 		t.Fatalf("victim = %d, want %d", v, blkB)
 	}
 }

@@ -1,0 +1,313 @@
+package gc
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"learnedftl/internal/nand"
+	"learnedftl/internal/stats"
+)
+
+// ErrNoSpace reports that a collection could not claim a relocation target:
+// every chip's free pool and active blocks are exhausted. With the block
+// manager's per-chip GC reserve in force this is unreachable in normal
+// operation; it surfaces (instead of a panic) when a caller overcommits the
+// device far past its over-provisioning.
+var ErrNoSpace = errors.New("gc: no relocation target (free pool exhausted)")
+
+// Allocator is the slice of the block manager the controller relocates
+// through. The *GC allocation variants may dip into the device-wide
+// reserved last free block that host allocations must leave alone, which
+// is what guarantees a collection can always complete.
+type Allocator interface {
+	// AllocGCPage reserves the next relocation page on the least-busy chip.
+	AllocGCPage(trans bool) (nand.PPN, bool)
+	// AllocGCPageOnChip reserves the next relocation page on a specific
+	// chip, falling back to the least-busy chip when it is out of space.
+	AllocGCPageOnChip(chip int, trans bool) (nand.PPN, bool)
+	// Release returns an erased block to the free pool.
+	Release(blockID int)
+	// FreeBlocks is the device-wide free-block count the watermarks gate on.
+	FreeBlocks() int
+	// IsActive reports whether a block is an active write block (active
+	// blocks are never victims).
+	IsActive(blockID int) bool
+}
+
+// Host is the mapping-maintenance side of a collection: the FTL keeps its
+// translation structures coherent as the controller moves pages.
+type Host interface {
+	// PageRelocated fires for every valid page the controller moved —
+	// translation pages and data pages alike.
+	PageRelocated(oob nand.OOB, old, new nand.PPN)
+	// Finalize fires once per collection with the moved data LPNs (sorted
+	// when SortByLPN) and the virtual time after relocation; it performs
+	// the scheme's translation-page maintenance and returns the advanced
+	// time.
+	Finalize(moved []int64, t nand.Time) nand.Time
+	// SortByLPN makes the controller relocate valid pages in ascending LPN
+	// order through least-busy allocation (LeaFTL trains segments over the
+	// sorted result; the default keeps victim-chip locality).
+	SortByLPN() bool
+}
+
+// Stats are the controller's per-policy counters.
+type Stats struct {
+	// Foreground counts watermark-triggered collections on the write path.
+	Foreground int64
+	// Background counts idle-gap collections from the open-loop engine.
+	Background int64
+	// PagesMoved counts relocated valid pages across both modes.
+	PagesMoved int64
+	// Aborted counts collections that stopped early on ErrNoSpace.
+	Aborted int64
+}
+
+// Controller owns garbage collection for one device: the victim-selection
+// policy, the trigger watermarks, the relocation mechanics and the
+// statistics. It is driven from two sides — Foreground by the FTL's write
+// path, Background by the open-loop host model during idle gaps.
+type Controller struct {
+	fl    *nand.Flash
+	codec nand.AddrCodec
+	alloc Allocator
+	host  Host
+	col   *stats.Collector
+	pol   Policy
+
+	// lowWater is the foreground trigger: collect while FreeBlocks() is at
+	// or below it. bgWater is the background target: idle-gap collection
+	// tops the free pool up to it (bgWater > lowWater, so background
+	// collection runs ahead of need and the write path rarely triggers).
+	lowWater, bgWater int
+
+	inGC    bool
+	lastErr error
+	stats   Stats
+}
+
+// NewController wires a controller. bgWater <= lowWater is raised to
+// 2×lowWater so background collection always has headroom over the
+// foreground trigger.
+func NewController(fl *nand.Flash, alloc Allocator, host Host,
+	col *stats.Collector, pol Policy, lowWater, bgWater int) *Controller {
+	if bgWater <= lowWater {
+		bgWater = 2 * lowWater
+	}
+	return &Controller{
+		fl:       fl,
+		codec:    fl.Codec(),
+		alloc:    alloc,
+		host:     host,
+		col:      col,
+		pol:      pol,
+		lowWater: lowWater,
+		bgWater:  bgWater,
+	}
+}
+
+// Policy returns the active victim-selection policy.
+func (c *Controller) Policy() Policy { return c.pol }
+
+// InGC reports whether a collection is in flight. Translation maintenance
+// that runs inside a collection (relocation hooks) allocates through the
+// GC-reserve-bypassing paths based on this.
+func (c *Controller) InGC() bool { return c.inGC }
+
+// Stats returns a copy of the per-policy counters.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// LastErr returns the most recent collection error (nil when healthy);
+// Foreground and Background stop collecting on error rather than panic,
+// and the allocation failure that follows upstream reports this cause.
+func (c *Controller) LastErr() error { return c.lastErr }
+
+// Foreground collects until the free pool is above the low watermark,
+// returning the advanced virtual time. The triggering request absorbs the
+// full latency. Re-entrant calls (collection maintenance paths run back
+// through the write path) are no-ops.
+func (c *Controller) Foreground(now nand.Time) nand.Time {
+	if c.inGC {
+		return now
+	}
+	for c.alloc.FreeBlocks() <= c.lowWater {
+		done, ok := c.collectOnce(now, false)
+		if !ok {
+			break
+		}
+		now = done
+	}
+	return now
+}
+
+// Background collects during a device-idle gap [now, deadline): it keeps
+// launching collections while the free pool is below the background
+// watermark and the next collection still starts before the deadline. A
+// collection already running when the deadline passes completes — host
+// requests arriving meanwhile queue behind it on the chips it occupies —
+// but no new one starts.
+func (c *Controller) Background(now, deadline nand.Time) nand.Time {
+	if c.inGC {
+		return now
+	}
+	for now < deadline && c.alloc.FreeBlocks() < c.bgWater {
+		done, ok := c.collectOnce(now, true)
+		if !ok {
+			break
+		}
+		now = done
+	}
+	return now
+}
+
+// Victim picks the collection victim under the policy: the highest-scoring
+// non-active block that has something invalid to reclaim (collecting an
+// all-valid block costs a block's worth of relocation for zero gain and
+// can livelock the trigger loop). Returns -1 when no candidate qualifies.
+func (c *Controller) Victim(now nand.Time) int {
+	g := c.fl.Geometry()
+	victim := -1
+	var bestScore float64
+	for blk := 0; blk < g.TotalBlocks(); blk++ {
+		wp := c.fl.BlockWritePtr(blk)
+		if wp == 0 || c.alloc.IsActive(blk) {
+			continue
+		}
+		v := c.fl.BlockValid(blk)
+		if v >= wp {
+			continue // nothing invalid to reclaim
+		}
+		// BlockLastMod is a program *completion* time and may sit past the
+		// GC trigger time on another chip; clamp so age never goes
+		// negative (a negative age would invert the age-weighted scores).
+		age := now - c.fl.BlockLastMod(blk)
+		if age < 0 {
+			age = 0
+		}
+		s := c.pol.Score(Candidate{
+			ID:       blk,
+			Valid:    v,
+			Invalid:  wp - v,
+			Capacity: g.PagesPerBlock,
+			Erases:   c.fl.BlockErases(blk),
+			Age:      age,
+		})
+		if victim == -1 || s > bestScore {
+			victim, bestScore = blk, s
+		}
+	}
+	return victim
+}
+
+// CollectOnce runs a single foreground collection regardless of the
+// watermarks (tests, manual compaction). ok is false when no victim
+// qualifies or the collection aborted on ErrNoSpace.
+func (c *Controller) CollectOnce(now nand.Time) (nand.Time, bool) {
+	if c.inGC {
+		return now, false
+	}
+	return c.collectOnce(now, false)
+}
+
+// collectOnce collects one victim block: policy selection, relocation of
+// every valid page, erase, release, host finalize, accounting. ok is false
+// when no victim qualifies or the collection aborted on ErrNoSpace (the
+// pages moved before the abort remain fully coherent; the victim is simply
+// not erased).
+func (c *Controller) collectOnce(now nand.Time, background bool) (nand.Time, bool) {
+	victim := c.Victim(now)
+	if victim < 0 {
+		return now, false
+	}
+	c.inGC = true
+	defer func() { c.inGC = false }()
+
+	g := c.fl.Geometry()
+	base := c.codec.Encode(c.codec.BlockAddr(victim))
+	t := now
+
+	type vp struct {
+		ppn nand.PPN
+		oob nand.OOB
+	}
+	var pages []vp
+	for i := 0; i < g.PagesPerBlock; i++ {
+		p := base + nand.PPN(i)
+		if c.fl.State(p) == nand.PageValid {
+			pages = append(pages, vp{p, c.fl.PageOOB(p)})
+		}
+	}
+	sorted := c.host.SortByLPN()
+	if sorted {
+		sort.Slice(pages, func(i, j int) bool { return pages[i].oob.Key < pages[j].oob.Key })
+	}
+
+	// Relocation overlaps across chips, as FEMU's GC does: every page's
+	// read issues against the collection start time (per-chip queueing
+	// serializes same-chip reads), and its program depends only on its own
+	// read. The collection ends when the slowest chain finishes.
+	victimChip := c.codec.Chip(base)
+	var moved []int64
+	relocated := 0
+	for _, p := range pages {
+		readDone := c.fl.Read(p.ppn, now, nand.OpGC)
+		var np nand.PPN
+		var ok bool
+		if sorted {
+			np, ok = c.alloc.AllocGCPage(p.oob.Trans)
+		} else {
+			np, ok = c.alloc.AllocGCPageOnChip(victimChip, p.oob.Trans)
+		}
+		if !ok {
+			// Graceful abort: the pages moved so far are coherent, the
+			// victim keeps its remaining valid pages and is not erased.
+			// The partial relocation still did real work, so it is
+			// accounted like a collection (the flash OpGC counters already
+			// grew by `relocated` programs).
+			c.lastErr = fmt.Errorf("%w (victim=%d valid=%d free=%d)",
+				ErrNoSpace, victim, len(pages), c.alloc.FreeBlocks())
+			c.stats.Aborted++
+			t = c.host.Finalize(moved, t)
+			c.stats.PagesMoved += int64(relocated)
+			c.col.RecordGC(now, relocated, t-now)
+			cnt := c.fl.Counters()
+			c.col.RecordWASample(t, cnt.TotalPrograms())
+			return t, false
+		}
+		done, err := c.fl.Program(np, p.oob, readDone, nand.OpGC)
+		if err != nil {
+			panic(fmt.Sprintf("gc: %v", err))
+		}
+		if done > t {
+			t = done
+		}
+		if err := c.fl.Invalidate(p.ppn); err != nil {
+			panic(fmt.Sprintf("gc: %v", err))
+		}
+		c.host.PageRelocated(p.oob, p.ppn, np)
+		relocated++
+		if !p.oob.Trans {
+			moved = append(moved, p.oob.Key)
+		}
+	}
+	eraseDone, err := c.fl.Erase(victim, t)
+	if err != nil {
+		panic(fmt.Sprintf("gc: %v", err))
+	}
+	t = eraseDone
+	c.alloc.Release(victim)
+	t = c.host.Finalize(moved, t)
+	c.lastErr = nil
+	c.stats.PagesMoved += int64(len(pages))
+	if background {
+		c.stats.Background++
+		c.col.RecordBGGC()
+	} else {
+		c.stats.Foreground++
+	}
+	c.col.RecordGC(now, len(pages), t-now)
+	cnt := c.fl.Counters()
+	c.col.RecordWASample(t, cnt.TotalPrograms())
+	return t, true
+}

@@ -1,0 +1,151 @@
+// Package gc is the pluggable garbage-collection subsystem shared by every
+// FTL in the simulator: victim-selection policies (greedy, cost-benefit,
+// cost-age-times), and a Controller that owns the trigger watermarks, the
+// relocation mechanics and per-policy statistics for the block-granular
+// FTLs (DFTL, TPFTL, LeaFTL, ideal). LearnedFTL's group-granular collector
+// reuses the same policies for group victim selection (internal/core).
+//
+// Collection runs in two modes. Foreground collection fires on the write
+// path when the free pool falls to the low watermark: the triggering
+// request absorbs the full collection latency, which is the paper's
+// tail-latency mechanism. Background collection fires from the open-loop
+// host model during device-idle gaps and stops launching new collections
+// the moment the next host arrival is due, trading idle time for tail
+// latency.
+package gc
+
+import (
+	"fmt"
+	"math"
+
+	"learnedftl/internal/nand"
+)
+
+// Kind names a victim-selection policy.
+type Kind string
+
+// The built-in victim-selection policies.
+const (
+	// Greedy collects the candidate with the fewest valid pages — the
+	// cheapest single collection, ignoring age and wear (the historical
+	// default, and the policy the paper's evaluation uses).
+	Greedy Kind = "greedy"
+	// CostBenefit collects the candidate with the best Rosenblum
+	// benefit/cost ratio (1-u)/(2u) × age: cold, mostly-invalid blocks are
+	// preferred, hot blocks get time to accumulate more invalid pages.
+	CostBenefit Kind = "costbenefit"
+	// CostAgeTimes is the wear-aware policy: benefit × age scaled down by
+	// the candidate's erase count, steering collections away from worn
+	// blocks to flatten the erase distribution.
+	CostAgeTimes Kind = "costage"
+)
+
+// Kinds returns the built-in policies in presentation order.
+func Kinds() []Kind { return []Kind{Greedy, CostBenefit, CostAgeTimes} }
+
+// ParseKind maps a flag value to a policy kind; "" parses as Greedy, the
+// default. ok is false for unknown names.
+func ParseKind(s string) (Kind, bool) {
+	switch Kind(s) {
+	case "", Greedy:
+		return Greedy, true
+	case CostBenefit:
+		return CostBenefit, true
+	case CostAgeTimes:
+		return CostAgeTimes, true
+	default:
+		return Greedy, false
+	}
+}
+
+// Candidate describes one collection candidate — a block for the
+// block-granular controller, a GTD entry group for LearnedFTL.
+type Candidate struct {
+	// ID is the block id (or group id); ties resolve to the lowest ID
+	// because enumeration is ascending and comparison strict.
+	ID int
+	// Valid is the number of live pages a collection must relocate.
+	Valid int
+	// Invalid is the number of reclaimable stale pages.
+	Invalid int
+	// Capacity is the candidate's total page capacity.
+	Capacity int
+	// Erases is the candidate's erase count (max across its blocks for a
+	// group) — the wear input of CostAgeTimes.
+	Erases int64
+	// Age is the virtual time since data was last programmed into the
+	// candidate; stable (cold) candidates age, hot ones stay young.
+	Age nand.Time
+}
+
+// utilization returns the valid fraction u in [0, 1].
+func (c Candidate) utilization() float64 {
+	if c.Capacity <= 0 {
+		return 1
+	}
+	return float64(c.Valid) / float64(c.Capacity)
+}
+
+// Policy scores collection candidates; the controller collects the
+// highest-scoring one. Implementations must be deterministic pure functions
+// of the candidate so victim selection stays reproducible.
+type Policy interface {
+	Kind() Kind
+	Score(c Candidate) float64
+}
+
+// NewPolicy builds the named policy.
+func NewPolicy(k Kind) (Policy, error) {
+	switch k {
+	case "", Greedy:
+		return greedy{}, nil
+	case CostBenefit:
+		return costBenefit{}, nil
+	case CostAgeTimes:
+		return costAgeTimes{}, nil
+	default:
+		return nil, fmt.Errorf("gc: unknown policy %q (want %v)", k, Kinds())
+	}
+}
+
+// MustPolicy is NewPolicy for known-good kinds; it panics on unknown ones.
+func MustPolicy(k Kind) Policy {
+	p, err := NewPolicy(k)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// greedy minimizes relocation work: score = −valid. Reproduces the
+// pre-subsystem VictimBlock selection bit-for-bit (ascending enumeration +
+// strict comparison ⇒ lowest block id wins ties).
+type greedy struct{}
+
+func (greedy) Kind() Kind                { return Greedy }
+func (greedy) Score(c Candidate) float64 { return -float64(c.Valid) }
+
+// costBenefit is Rosenblum & Ousterhout's cleaning heuristic:
+// benefit/cost = (1−u)·age / 2u, with u the valid fraction. The +1 on age
+// keeps the utilization ordering meaningful at age zero.
+type costBenefit struct{}
+
+func (costBenefit) Kind() Kind { return CostBenefit }
+func (costBenefit) Score(c Candidate) float64 {
+	u := c.utilization()
+	if u == 0 {
+		return math.Inf(1)
+	}
+	return (1 - u) / (2 * u) * float64(c.Age+1)
+}
+
+// costAgeTimes augments benefit × age with wear: dividing by the erase
+// count makes worn candidates unattractive, so erases spread across blocks
+// (Chiang et al.'s Cost-Age-Times cleaning).
+type costAgeTimes struct{}
+
+func (costAgeTimes) Kind() Kind { return CostAgeTimes }
+func (costAgeTimes) Score(c Candidate) float64 {
+	return float64(c.Invalid) / float64(c.Valid+1) *
+		float64(c.Age+1) / float64(c.Erases+1)
+}

@@ -223,6 +223,13 @@ func (l *LeaFTL) predict(tpn int, lpn int64) nand.PPN {
 // DataRelocated implements ftl.RelocHooks.
 func (l *LeaFTL) DataRelocated(int64, nand.PPN, nand.PPN) {}
 
+// DataTrimmed implements ftl.RelocHooks: a buffered-but-unflushed page that
+// is trimmed must never reach flash. Stale learned segments are harmless —
+// reads check the shadow map's Mapped state before predicting.
+func (l *LeaFTL) DataTrimmed(lpn int64, _ nand.PPN) {
+	delete(l.buffer, lpn)
+}
+
 // GCFinalize implements ftl.RelocHooks: GC moved pages in sorted LPN order,
 // so retrain segments over their new locations and persist them.
 func (l *LeaFTL) GCFinalize(moved []int64, t nand.Time) nand.Time {

@@ -1,6 +1,9 @@
 package nand
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // PageState is the lifecycle state of a physical page.
 type PageState uint8
@@ -44,6 +47,7 @@ type blockMeta struct {
 	valid    int // pages in PageValid
 	writePtr int // next programmable page index (NAND in-order constraint)
 	erases   int64
+	lastMod  Time // completion time of the most recent program into the block
 }
 
 // Flash is the flash array: page states, OOB metadata, per-chip operation
@@ -146,7 +150,9 @@ func (f *Flash) Program(p PPN, oob OOB, after Time, kind OpKind) (Time, error) {
 	b.valid++
 	b.writePtr++
 	f.counters.Programs[kind]++
-	return f.schedule(f.codec.Chip(p), after, f.timing.ProgramLatency), nil
+	done := f.schedule(f.codec.Chip(p), after, f.timing.ProgramLatency)
+	b.lastMod = done
+	return done, nil
 }
 
 // Invalidate marks a valid page stale. Invalidating a non-valid page is a
@@ -194,6 +200,47 @@ func (f *Flash) BlockWritePtr(blockID int) int { return f.blocks[blockID].writeP
 
 // BlockErases returns how many times blockID has been erased.
 func (f *Flash) BlockErases(blockID int) int64 { return f.blocks[blockID].erases }
+
+// BlockLastMod returns the completion time of the most recent program into
+// blockID (zero for never-programmed blocks). Age-aware GC policies derive
+// candidate age from it.
+func (f *Flash) BlockLastMod(blockID int) Time { return f.blocks[blockID].lastMod }
+
+// WearStats summarizes the per-block erase distribution of the device —
+// the wear-leveling view GC policies are judged on.
+type WearStats struct {
+	TotalErases int64
+	MaxErases   int64
+	MeanErases  float64
+	// CV is the coefficient of variation (stddev/mean) of per-block erase
+	// counts: 0 means perfectly level wear, larger means hot spots. Zero
+	// when no block has been erased.
+	CV float64
+}
+
+// Wear computes the erase-distribution summary over all blocks.
+func (f *Flash) Wear() WearStats {
+	var w WearStats
+	n := float64(len(f.blocks))
+	for i := range f.blocks {
+		e := f.blocks[i].erases
+		w.TotalErases += e
+		if e > w.MaxErases {
+			w.MaxErases = e
+		}
+	}
+	if w.TotalErases == 0 || n == 0 {
+		return w
+	}
+	w.MeanErases = float64(w.TotalErases) / n
+	var ss float64
+	for i := range f.blocks {
+		d := float64(f.blocks[i].erases) - w.MeanErases
+		ss += d * d
+	}
+	w.CV = math.Sqrt(ss/n) / w.MeanErases
+	return w
+}
 
 // BlockFreePages returns the number of still-programmable pages in blockID.
 func (f *Flash) BlockFreePages(blockID int) int {

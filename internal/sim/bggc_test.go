@@ -1,0 +1,153 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"learnedftl/internal/ftl"
+	"learnedftl/internal/nand"
+)
+
+// warmIdeal fills an ideal device to steady state so GC pressure exists
+// from the first measured write.
+func warmIdeal(t *testing.T, cfg ftl.Config) *ftl.Ideal {
+	t.Helper()
+	f, err := ftl.NewIdeal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp := cfg.LogicalPages()
+	now := nand.Time(0)
+	rng := rand.New(rand.NewSource(5))
+	for lpn := int64(0); lpn < lp; lpn++ {
+		now = f.WritePages(lpn, 1, now)
+	}
+	for i := int64(0); i < lp; i++ {
+		now = f.WritePages(rng.Int63n(lp), 1, now)
+	}
+	f.Collector().Reset()
+	f.Flash().ResetCounters()
+	return f
+}
+
+// randWriteGen returns a generator of per seeded random single-page writes.
+func randWriteGen(lp int64, per int, seed int64) Generator {
+	rng := rand.New(rand.NewSource(seed))
+	i := 0
+	return GenFunc(func() (Request, bool) {
+		if i >= per {
+			return Request{}, false
+		}
+		i++
+		return Request{Write: true, LPN: rng.Int63n(lp), Pages: 1}, true
+	})
+}
+
+// writeStreams builds paced open-loop random-write streams.
+func writeStreams(lp int64, threads, per int, rate float64) []Stream {
+	streams := make([]Stream, threads)
+	for i := range streams {
+		streams[i] = Stream{Name: "w", Gen: randWriteGen(lp, per, 17+int64(i)),
+			Kind: ArrivalPoisson, Rate: rate / float64(threads), Seed: 900 + int64(i)}
+	}
+	return streams
+}
+
+// trimWriteGen returns a generator where every trimEvery-th request is a
+// TRIM of an aligned extent instead of a write (mirrors workload.TrimWrite,
+// inlined because workload imports sim).
+func trimWriteGen(lp int64, ioPages, per, trimEvery int, seed int64) Generator {
+	rng := rand.New(rand.NewSource(seed))
+	issued := 0
+	return GenFunc(func() (Request, bool) {
+		if issued >= per {
+			return Request{}, false
+		}
+		issued++
+		n := int64(ioPages)
+		lpn := rng.Int63n(lp - n + 1)
+		lpn -= lpn % n
+		trim := issued%trimEvery == 0
+		return Request{Write: !trim, Trim: trim, LPN: lpn, Pages: int(n)}, true
+	})
+}
+
+// TestBackgroundGCRunsInIdleGaps: at a moderate offered rate the
+// background collector must actually fire, and the free pool must sit at
+// or above where foreground-only collection leaves it.
+func TestBackgroundGCRunsInIdleGaps(t *testing.T) {
+	cfg := testConfig()
+	lp := cfg.LogicalPages()
+	// Mean interarrival ~2.5ms — wider than a GC erase (2ms), so the
+	// device fully drains between bursts and real idle gaps exist.
+	rate := 0.02 * float64(nand.Second) / float64(cfg.Timing.ProgramLatency) * 4
+
+	fg := warmIdeal(t, cfg)
+	RunOpenWith(fg, writeStreams(lp, 4, 300, rate), OpenOptions{})
+	if fg.Collector().BGGCCount != 0 {
+		t.Fatal("foreground run recorded background collections")
+	}
+
+	bg := warmIdeal(t, cfg)
+	RunOpenWith(bg, writeStreams(lp, 4, 300, rate), OpenOptions{BackgroundGC: true})
+	if bg.Collector().BGGCCount == 0 {
+		t.Fatal("background GC never fired despite idle gaps")
+	}
+	if bg.BM.FreeBlocks() < fg.BM.FreeBlocks() {
+		t.Fatalf("background run ended with a smaller pool (%d) than foreground (%d)",
+			bg.BM.FreeBlocks(), fg.BM.FreeBlocks())
+	}
+}
+
+// TestBackgroundGCDeterministic: the background-GC schedule is a pure
+// function of the seeded arrivals — two identical runs must agree on every
+// counter.
+func TestBackgroundGCDeterministic(t *testing.T) {
+	cfg := testConfig()
+	lp := cfg.LogicalPages()
+	rate := 0.02 * float64(nand.Second) / float64(cfg.Timing.ProgramLatency) * 4
+	run := func() (Result, int64, int64, nand.OpCounters) {
+		f := warmIdeal(t, cfg)
+		res := RunOpenWith(f, writeStreams(lp, 4, 300, rate), OpenOptions{BackgroundGC: true})
+		return res, f.Collector().GCCount, f.Collector().BGGCCount, f.Flash().Counters()
+	}
+	r1, gc1, bg1, c1 := run()
+	r2, gc2, bg2, c2 := run()
+	if r1 != r2 || gc1 != gc2 || bg1 != bg2 || c1 != c2 {
+		t.Fatalf("background-GC runs diverged: %+v/%d/%d vs %+v/%d/%d", r1, gc1, bg1, r2, gc2, bg2)
+	}
+}
+
+// TestTrimRequestsDispatchInBothEngines: a Trim request must reach the
+// FTL's trim path (not the write path) from the closed-loop and open-loop
+// engines alike, and must stay out of the latency populations.
+func TestTrimRequestsDispatchInBothEngines(t *testing.T) {
+	cfg := testConfig()
+	lp := cfg.LogicalPages()
+
+	closed := warmIdeal(t, cfg)
+	gens := []Generator{trimWriteGen(lp, 4, 100, 4, 99), trimWriteGen(lp, 4, 100, 4, 199)}
+	res := Run(closed, gens, 0)
+	col := closed.Collector()
+	if col.HostTrims != 2*100/4 {
+		t.Fatalf("closed loop: %d trims, want %d", col.HostTrims, 2*100/4)
+	}
+	if col.HostWrites != res.Requests-col.HostTrims {
+		t.Fatalf("writes %d + trims %d != requests %d", col.HostWrites, col.HostTrims, res.Requests)
+	}
+
+	open := warmIdeal(t, cfg)
+	streams := []Stream{
+		{Name: "w", Gen: trimWriteGen(lp, 4, 100, 4, 99), Kind: ArrivalPoisson, Rate: 5000, Seed: 0},
+		{Name: "w", Gen: trimWriteGen(lp, 4, 100, 4, 199), Kind: ArrivalPoisson, Rate: 5000, Seed: 1},
+	}
+	RunOpen(open, streams, 0)
+	ocol := open.Collector()
+	if ocol.HostTrims != 2*100/4 {
+		t.Fatalf("open loop: %d trims, want %d", ocol.HostTrims, 2*100/4)
+	}
+	// Trims join no latency population: totals must match writes only.
+	if ocol.HostWrites+ocol.HostReads != 2*100-ocol.HostTrims {
+		t.Fatalf("latency population %d includes trims", ocol.HostWrites+ocol.HostReads)
+	}
+}

@@ -21,9 +21,11 @@ import (
 	"learnedftl/internal/nand"
 )
 
-// Request is one host I/O in pages.
+// Request is one host I/O in pages. Trim takes precedence over Write: a
+// trim request discards the covered mappings instead of transferring data.
 type Request struct {
 	Write bool
+	Trim  bool
 	LPN   int64
 	Pages int
 }
@@ -76,9 +78,13 @@ func Run(f ftl.FTL, gens []Generator, maxRequests int64) Result {
 			continue
 		}
 		done, pages := issue(f, req, now)
-		if req.Write {
+		switch {
+		case req.Trim:
+			// The FTL's TrimPages already counted the trim; a metadata op
+			// joins no latency population.
+		case req.Write:
 			col.RecordWrite(done-now, pages)
-		} else {
+		default:
 			col.RecordRead(done-now, pages)
 		}
 		h.push(th, done)

@@ -24,9 +24,12 @@ func issue(f ftl.FTL, req Request, now nand.Time) (done nand.Time, pages int) {
 	if pages <= 0 {
 		pages = 1
 	}
-	if req.Write {
+	switch {
+	case req.Trim:
+		done = f.TrimPages(req.LPN, pages, now)
+	case req.Write:
 		done = f.WritePages(req.LPN, pages, now)
-	} else {
+	default:
 		done = f.ReadPages(req.LPN, pages, now)
 	}
 	if done < now {

@@ -107,6 +107,22 @@ func (s *olStream) fetch() bool {
 	return true
 }
 
+// OpenOptions tune an open-loop run beyond the stream definitions.
+type OpenOptions struct {
+	// MaxRequests caps the issued requests (0 = unlimited).
+	MaxRequests int64
+	// BackgroundGC runs garbage collection during device-idle gaps when
+	// the FTL implements ftl.BackgroundCollector: whenever the next host
+	// arrival is later than the device's drain time, the gap is offered to
+	// the collector, which launches collections until the arrival is due
+	// or the collector's own stop rule holds (block-granular FTLs: free
+	// pool at the background watermark; LearnedFTL: no group with a full
+	// superblock row reclaimable). A collection the arrival catches
+	// mid-flight delays that request through ordinary per-chip queueing —
+	// preemption by arrival, not mid-erase abort.
+	BackgroundGC bool
+}
+
 // RunOpen replays rate-controlled open-loop streams against f until all
 // streams are exhausted or maxRequests have been issued (0 = unlimited).
 //
@@ -126,7 +142,16 @@ func (s *olStream) fetch() bool {
 // identical issue order, identical flash schedule, identical service
 // times.
 func RunOpen(f ftl.FTL, streams []Stream, maxRequests int64) Result {
+	return RunOpenWith(f, streams, OpenOptions{MaxRequests: maxRequests})
+}
+
+// RunOpenWith is RunOpen with explicit options (background GC).
+func RunOpenWith(f ftl.FTL, streams []Stream, opt OpenOptions) Result {
 	start := f.Flash().MaxChipBusy()
+	var bg ftl.BackgroundCollector
+	if opt.BackgroundGC {
+		bg, _ = f.(ftl.BackgroundCollector)
+	}
 	col := f.Collector()
 	names := make([]string, len(streams))
 	for i, s := range streams {
@@ -157,14 +182,28 @@ func RunOpen(f ftl.FTL, streams []Stream, maxRequests int64) Result {
 	var issued int64
 	end := start
 	for h.len() > 0 {
-		if maxRequests > 0 && issued >= maxRequests {
+		if opt.MaxRequests > 0 && issued >= opt.MaxRequests {
 			break
 		}
 		i, now := h.pop()
 		st := states[i]
+		if bg != nil {
+			// The device drains before the next service start: offer the
+			// idle gap to the garbage collector. Collections it launches
+			// finish inside the gap or spill into the request's service
+			// time through per-chip queueing — never onto its queue wait.
+			if busy := f.Flash().MaxChipBusy(); busy < now {
+				bg.BackgroundGC(busy, now)
+			}
+		}
 		wait := now - st.arrival
 		done, pages := issue(f, st.req, now)
-		col.RecordQueued(i, st.req.Write, wait, done-now, pages)
+		if st.req.Trim {
+			// TrimPages counted the trim inside the FTL; metadata ops
+			// join no latency population.
+		} else {
+			col.RecordQueued(i, st.req.Write, wait, done-now, pages)
+		}
 		st.ready = done
 		if done > end {
 			end = done

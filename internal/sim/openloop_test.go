@@ -228,6 +228,7 @@ func newBackwardsFTL(t *testing.T) *backwardsFTL {
 func (b *backwardsFTL) Name() string                                       { return "backwards" }
 func (b *backwardsFTL) ReadPages(_ int64, _ int, now nand.Time) nand.Time  { return now - 5 }
 func (b *backwardsFTL) WritePages(_ int64, _ int, now nand.Time) nand.Time { return now - 7 }
+func (b *backwardsFTL) TrimPages(_ int64, _ int, now nand.Time) nand.Time  { return now }
 func (b *backwardsFTL) Collector() *stats.Collector                        { return b.col }
 func (b *backwardsFTL) Flash() *nand.Flash                                 { return b.fl }
 func (b *backwardsFTL) Config() ftl.Config                                 { return b.cfg }

@@ -72,6 +72,12 @@ type Collector struct {
 	HostReadPages  int64
 	HostWritePages int64
 
+	// TRIM/Discard accounting: host trim requests, pages covered, and how
+	// many of those actually held flash-resident data to invalidate.
+	HostTrims       int64
+	HostTrimPages   int64
+	HostTrimmedLive int64
+
 	// Translation-path events, counted per host page read.
 	CMTHits    int64 // resolved by the cached mapping table
 	ModelHits  int64 // resolved by an accurate learned-model prediction
@@ -82,11 +88,17 @@ type Collector struct {
 
 	// GC activity.
 	GCCount      int64
+	BGGCCount    int64 // collections launched from idle-gap background GC
 	GCPagesMoved int64
 	GCTimestamps []nand.Time // virtual time of each GC invocation
 	GCBusyTime   nand.Time   // total virtual time spent inside GC
 	SortTrainOps int64       // GTD entries sorted+trained during GC
 	SortTrainNS  int64       // virtual ns charged for sorting+training
+
+	// waSamples tracks cumulative write amplification over virtual time:
+	// one sample per GC completion, pairing the host pages written so far
+	// with the flash programs issued so far.
+	waSamples []WASample
 
 	// Model bookkeeping (LearnedFTL).
 	ModelTrainings int64
@@ -204,6 +216,50 @@ func (c *Collector) RecordGC(t nand.Time, pagesMoved int, busy nand.Time) {
 	c.GCTimestamps = append(c.GCTimestamps, t)
 	c.GCBusyTime += busy
 }
+
+// RecordBGGC marks the most recent collection as background-triggered
+// (idle-gap collection rather than a watermark hit on the write path).
+func (c *Collector) RecordBGGC() { c.BGGCCount++ }
+
+// RecordTrim records one host TRIM request covering pages LPNs, live of
+// which held flash-resident data. Trims are metadata operations: they join
+// no latency population.
+func (c *Collector) RecordTrim(pages, live int) {
+	c.HostTrims++
+	c.HostTrimPages += int64(pages)
+	c.HostTrimmedLive += int64(live)
+}
+
+// WASample is one point of the write-amplification-over-time series: the
+// cumulative host pages written and flash pages programmed as of virtual
+// time T.
+type WASample struct {
+	T             nand.Time
+	HostPages     int64
+	FlashPrograms int64
+}
+
+// WA returns the cumulative write amplification at this sample.
+func (s WASample) WA() float64 {
+	if s.HostPages == 0 {
+		return 0
+	}
+	return float64(s.FlashPrograms) / float64(s.HostPages)
+}
+
+// RecordWASample appends one WA-over-time point (typically at each GC
+// completion) pairing the current host write count with the device's
+// cumulative program count.
+func (c *Collector) RecordWASample(t nand.Time, flashPrograms int64) {
+	c.waSamples = append(c.waSamples, WASample{
+		T:             t,
+		HostPages:     c.HostWritePages,
+		FlashPrograms: flashPrograms,
+	})
+}
+
+// WAOverTime returns the recorded write-amplification series.
+func (c *Collector) WAOverTime() []WASample { return c.waSamples }
 
 // Reset clears all accumulated metrics (between warm-up and measurement).
 func (c *Collector) Reset() { *c = Collector{} }
@@ -375,9 +431,30 @@ type Report struct {
 
 	WriteAmp float64
 	GCCount  int64
-	EnergyMJ float64
+	// BGGCCount is the subset of GCCount launched from idle-gap background
+	// collection (zero for closed-loop runs and foreground-only devices).
+	BGGCCount int64
+	HostTrims int64
+	EnergyMJ  float64
+
+	// Wear is the per-block erase distribution at report time and
+	// LifetimeTBW the projected endurance-limited host terabytes writable
+	// at the run's write amplification; both are filled by AddWear.
+	Wear        nand.WearStats
+	LifetimeTBW float64
 
 	Flash nand.OpCounters
+}
+
+// AddWear attaches the device's erase distribution and the projected
+// P/E-limited lifetime: with endurance cycles per block, a device of
+// physBytes raw capacity can absorb endurance × physBytes / WA bytes of
+// host writes before the average block wears out.
+func (r *Report) AddWear(w nand.WearStats, endurance int64, physBytes int64) {
+	r.Wear = w
+	if r.WriteAmp > 0 && endurance > 0 {
+		r.LifetimeTBW = float64(endurance) * float64(physBytes) / r.WriteAmp / 1e12
+	}
 }
 
 // StreamReport is the frozen per-tenant summary of one open-loop run.
@@ -412,6 +489,8 @@ func BuildReport(name string, c *Collector, flash nand.OpCounters,
 		DoubleFrac:    c.ReadClassFraction(ReadDouble),
 		TripleFrac:    c.ReadClassFraction(ReadTriple),
 		GCCount:       c.GCCount,
+		BGGCCount:     c.BGGCCount,
+		HostTrims:     c.HostTrims,
 		Flash:         flash,
 		EnergyMJ:      float64(flash.EnergyNJ(energy)) / 1e6,
 	}

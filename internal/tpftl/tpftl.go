@@ -155,6 +155,11 @@ func (t *TPFTL) DataRelocated(lpn int64, _, newPPN nand.PPN) {
 	t.cmt.UpdatePPN(lpn, newPPN)
 }
 
+// DataTrimmed implements ftl.RelocHooks: drop the cached mapping.
+func (t *TPFTL) DataTrimmed(lpn int64, _ nand.PPN) {
+	t.cmt.Remove(lpn)
+}
+
 // GCFinalize implements ftl.RelocHooks: same per-translation-page batch
 // update as DFTL.
 func (t *TPFTL) GCFinalize(moved []int64, tt nand.Time) nand.Time {

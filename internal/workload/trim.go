@@ -1,0 +1,32 @@
+package workload
+
+import (
+	"math/rand"
+
+	"learnedftl/internal/sim"
+)
+
+// TrimWrite returns one generator per thread issuing aligned random
+// overwrites where every trimEvery-th request is a TRIM of an equally
+// sized extent instead of a write — the filesystem-discard pattern that
+// lets GC reclaim dead data without relocating it. trimEvery <= 0 disables
+// trimming (pure random writes). Deterministic given the seed.
+func TrimWrite(lp int64, ioPages, threads, perThread, trimEvery int, seed int64) []sim.Generator {
+	gens := make([]sim.Generator, threads)
+	for th := 0; th < threads; th++ {
+		rng := rand.New(rand.NewSource(seed + int64(th)*12553))
+		issued := 0
+		gens[th] = sim.GenFunc(func() (sim.Request, bool) {
+			if issued >= perThread {
+				return sim.Request{}, false
+			}
+			issued++
+			n := int64(ioPages)
+			lpn := rng.Int63n(lp - n + 1)
+			lpn -= lpn % n // aligned extents, as discards are in practice
+			trim := trimEvery > 0 && issued%trimEvery == 0
+			return sim.Request{Write: !trim, Trim: trim, LPN: lpn, Pages: int(n)}, true
+		})
+	}
+	return gens
+}

@@ -59,6 +59,31 @@ FTL     MB/s   norm vs TPFTL  single  double  triple
 LeaFTL  586.5  1.01           5.2%    90.8%   4.0%
 TPFTL   583.0  1.00           2.2%    97.8%   0.0%
 `,
+	// The GC tables below were captured from commit 834c5bf, before garbage
+	// collection was extracted into internal/gc: with the default greedy
+	// policy and foreground-only triggering, the pluggable subsystem must
+	// reproduce the hard-coded collector bit-for-bit.
+	"fig16": `== Fig 16: GC activity under FIO writes (count; mean GCs per simulated second) ==
+FTL         rand GCs  rand GC/s  seq GCs  seq GC/s
+DFTL        75        121.52     756      147.90
+TPFTL       108       112.81     614      121.80
+LeaFTL      77        136.09     626      184.13
+LearnedFTL  0         0.00       10       10.88
+ideal       69        475.08     382      1074.24
+`,
+	"fig17": `== Fig 17: sorting+training share of LearnedFTL GC time (paper: <= 3.2%) ==
+randwrite requests  GC busy  sort+train  share
+1000                0.00ms   0.00ms      0.00%
+2000                0.00ms   0.00ms      0.00%
+4000                86.64ms  2.80ms      3.23%
+`,
+	"fig21": `== Fig 21: P99 / P99.9 tail latency under real-world traces ==
+trace       TPFTL p99  LeaFTL p99  LearnedFTL p99  ideal p99  TPFTL p999  LeaFTL p999  LearnedFTL p999  ideal p999
+WebSearch1  0.24ms     0.16ms      0.12ms          0.20ms     0.36ms      0.20ms       0.32ms           0.48ms
+WebSearch2  0.20ms     0.20ms      0.12ms          0.12ms     0.40ms      0.36ms       0.32ms           0.28ms
+WebSearch3  0.24ms     0.20ms      0.16ms          0.08ms     0.40ms      0.24ms       0.32ms           0.16ms
+Systor17    42.76ms    0.16ms      0.68ms          24.28ms    74.56ms     512.80ms     79.48ms          57.88ms
+`,
 }
 
 // trimTrailing strips the column padding Table.String appends to every
