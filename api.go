@@ -26,6 +26,7 @@ import (
 	"learnedftl/internal/gc"
 	"learnedftl/internal/leaftl"
 	"learnedftl/internal/nand"
+	"learnedftl/internal/persist"
 	"learnedftl/internal/sim"
 	"learnedftl/internal/sweep"
 	"learnedftl/internal/tpftl"
@@ -169,6 +170,106 @@ func NewLearned(cfg Config, opt Options) (*core.LearnedFTL, error) {
 
 // DefaultLearnedOptions returns the paper's LearnedFTL configuration.
 func DefaultLearnedOptions() Options { return core.DefaultOptions() }
+
+// Persistence (see internal/persist): device snapshots, OOB crash
+// recovery and the warm-checkpoint cache.
+type (
+	// CheckpointCache is the warm-checkpoint store Budget.Checkpoints and
+	// ftlbench -checkpoint-dir use: sweeps restore warmed devices from it
+	// instead of re-simulating warm-up, with byte-identical tables.
+	CheckpointCache = persist.Cache
+	// CheckpointStats summarizes cache traffic; ProgramsSaved prices hits
+	// in simulated flash programs the cache avoided re-simulating.
+	CheckpointStats = persist.CacheStats
+)
+
+// NewCheckpointCache opens (creating if needed) a warm-checkpoint
+// directory for Budget.Checkpoints.
+func NewCheckpointCache(dir string) (*CheckpointCache, error) {
+	return persist.NewCache(dir)
+}
+
+// deviceFingerprint identifies a device for snapshot verification: scheme
+// name + full config, plus the ablation options for devices that carry
+// them (LearnedFTL) — options change behavior, so a snapshot must never
+// silently restore into a differently optioned device.
+func deviceFingerprint(f FTL) string {
+	fp := persistKey(f.Name(), f.Config())
+	if o, ok := f.(interface{ Options() Options }); ok {
+		fp += fmt.Sprintf("|opt=%+v", o.Options())
+	}
+	return fp
+}
+
+// SnapshotDevice serializes a device's complete state — flash array, OOB,
+// block metadata, L2P, GTD, scheme caches and models, allocator and GC
+// state — into a versioned, checksummed, deterministic byte stream.
+// Restoring it into a freshly built device of the same scheme and config
+// is bit-for-bit equivalent to never having snapshotted. The metrics
+// collector is not captured; RestoreDevice returns a device with a fresh
+// one, matching what every experiment's measurement reset produces.
+func SnapshotDevice(f FTL) ([]byte, error) {
+	dev, ok := f.(persist.Device)
+	if !ok {
+		return nil, fmt.Errorf("learnedftl: %s does not support snapshots", f.Name())
+	}
+	return persist.Snapshot(dev, deviceFingerprint(f)), nil
+}
+
+// RestoreDevice rebuilds a device from a SnapshotDevice stream. The scheme
+// and configuration — for LearnedFTL, the default options; use
+// RestoreLearnedDevice for ablations — must match the snapshot's;
+// mismatches, corruption and format-version changes are all detected and
+// returned as errors.
+func RestoreDevice(s Scheme, cfg Config, data []byte) (FTL, error) {
+	f, err := New(s, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return restoreInto(f, data)
+}
+
+// RestoreLearnedDevice is RestoreDevice for LearnedFTL snapshots taken
+// under explicit ablation options (NewLearned): the options are part of
+// the snapshot fingerprint, so they must match too.
+func RestoreLearnedDevice(cfg Config, opt Options, data []byte) (*core.LearnedFTL, error) {
+	f, err := NewLearned(cfg, opt)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := restoreInto(f, data); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// restoreInto loads a snapshot into a freshly constructed device.
+func restoreInto(f FTL, data []byte) (FTL, error) {
+	dev, ok := f.(persist.Device)
+	if !ok {
+		return nil, fmt.Errorf("learnedftl: %s does not support snapshots", f.Name())
+	}
+	if err := persist.Restore(dev, deviceFingerprint(f), data); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// RecoverFromCrash models a power-loss mount: the device's DRAM
+// translation state (L2P, GTD, caches, models, allocator views) is
+// dropped and rebuilt by the timed out-of-band scan of the flash array —
+// the recovery path the paper's OOB reverse mappings exist for. The
+// returned result's Makespan is the mount latency; the device is fully
+// operational afterwards. See the mountlat experiment.
+func RecoverFromCrash(f FTL) (RunResult, error) {
+	rec, ok := f.(ftl.CrashRecoverer)
+	if !ok {
+		return RunResult{}, fmt.Errorf("learnedftl: %s does not support crash recovery", f.Name())
+	}
+	start := f.Flash().MaxChipBusy()
+	done := rec.RecoverFromCrash(start)
+	return RunResult{Start: start, End: done}, nil
+}
 
 // AutoWorkers returns the worker count that saturates the machine when set
 // as Budget.Workers (GOMAXPROCS). Experiment cells are hermetic and

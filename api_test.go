@@ -66,15 +66,15 @@ func TestFig14Shape(t *testing.T) {
 	// demand-based baselines and approaches the ideal FTL.
 	cfg := TinyConfig()
 	b := tinyBudget()
-	tp, err := newWarmed(SchemeTPFTL, cfg, b.WarmExtra)
+	tp, err := newWarmed(SchemeTPFTL, cfg, b)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ld, err := newWarmed(SchemeLearnedFTL, cfg, b.WarmExtra)
+	ld, err := newWarmed(SchemeLearnedFTL, cfg, b)
 	if err != nil {
 		t.Fatal(err)
 	}
-	id, err := newWarmed(SchemeIdeal, cfg, b.WarmExtra)
+	id, err := newWarmed(SchemeIdeal, cfg, b)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +97,7 @@ func TestFig6Shape(t *testing.T) {
 	// 4KB random aging; TPFTL must not exhibit triples.
 	cfg := TinyConfig()
 	b := tinyBudget()
-	le, err := newWarmed(SchemeLeaFTL, cfg, b.WarmExtra)
+	le, err := newWarmed(SchemeLeaFTL, cfg, b)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +108,7 @@ func TestFig6Shape(t *testing.T) {
 	if r.DoubleFrac+r.TripleFrac < 0.2 {
 		t.Fatalf("LeaFTL multi-read fraction %.2f too low after aging", r.DoubleFrac+r.TripleFrac)
 	}
-	tp, err := newWarmed(SchemeTPFTL, cfg, b.WarmExtra)
+	tp, err := newWarmed(SchemeTPFTL, cfg, b)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +122,7 @@ func TestExperimentRegistry(t *testing.T) {
 	ids := ExperimentIDs()
 	want := []string{"fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
 		"fig2", "fig20", "fig21", "fig22", "fig3", "fig6", "fig7",
-		"gclat", "gcsweep", "loadsweep", "table2", "tenantmix"}
+		"gclat", "gcsweep", "loadsweep", "mountlat", "table2", "tenantmix"}
 	if len(ids) != len(want) {
 		t.Fatalf("ids = %v", ids)
 	}

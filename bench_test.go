@@ -287,3 +287,45 @@ func BenchmarkSimRunSchedule(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkSnapshot guards the snapshot serialization hot path: one full
+// device snapshot (flash states, OOB, L2P, GTD, caches, allocator) of a
+// warmed tiny device per iteration, with bytes/op reported so encoding
+// regressions in either speed or size are visible.
+func BenchmarkSnapshot(b *testing.B) {
+	f, err := newWarmed(SchemeDFTL, TinyConfig(), benchBudget())
+	if err != nil {
+		b.Fatal(err)
+	}
+	snap, err := SnapshotDevice(f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(snap)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SnapshotDevice(f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRestore is BenchmarkSnapshot's read side: decode + rebuild of
+// the same warmed device.
+func BenchmarkRestore(b *testing.B) {
+	f, err := newWarmed(SchemeDFTL, TinyConfig(), benchBudget())
+	if err != nil {
+		b.Fatal(err)
+	}
+	snap, err := SnapshotDevice(f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(snap)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RestoreDevice(SchemeDFTL, TinyConfig(), snap); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

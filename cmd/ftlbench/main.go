@@ -13,6 +13,8 @@
 //	ftlbench -exp gcsweep -gc-policy greedy,costbenefit  # WA vs OP ratio
 //	ftlbench -exp gclat                 # foreground vs background GC tails
 //	ftlbench -exp fig16 -gc-policy costage  # any experiment, other policy
+//	ftlbench -exp mountlat              # OOB crash-recovery latency vs fill
+//	ftlbench -exp all -checkpoint-dir .ckpt  # reuse warm-device checkpoints
 //	ftlbench -list                      # experiment ids + descriptions
 //
 // -parallel fans the independent (scheme × workload) cells of each
@@ -68,6 +70,8 @@ func main() {
 
 		gcPolicy = flag.String("gc-policy", "", "GC victim-selection policies, comma-separated (greedy | costbenefit | costage); a single value also sets the device policy for every experiment, gcsweep sweeps the listed subset (\"\" = all)")
 		opRatio  = flag.Float64("op-ratio", 0, "gcsweep: single over-provisioning ratio (0 = ladder derived from the device config)")
+
+		checkpointDir = flag.String("checkpoint-dir", "", "directory of warm-device checkpoints: cells restore a cached warmed device instead of re-simulating warm-up (tables stay byte-identical); cold cells populate it")
 	)
 	flag.Parse()
 
@@ -124,6 +128,16 @@ func main() {
 	budget.ReadTenantShare = *tenantShare
 	budget.GCPolicies = *gcPolicy
 	budget.OPRatio = *opRatio
+	var checkpoints *learnedftl.CheckpointCache
+	if *checkpointDir != "" {
+		var err error
+		checkpoints, err = learnedftl.NewCheckpointCache(*checkpointDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		budget.Checkpoints = checkpoints
+	}
 	// A single -gc-policy value also selects the device policy every other
 	// experiment runs under (gcsweep always builds per-cell configs from
 	// its own policy column).
@@ -159,6 +173,12 @@ func main() {
 		fmt.Println(r.Table)
 		fmt.Printf("(%s finished in %.3fs)\n\n", r.Experiment, r.Seconds)
 		results = append(results, r)
+	}
+
+	if checkpoints != nil {
+		st := checkpoints.Stats()
+		fmt.Printf("warm checkpoints: %d hits, %d misses, %d stored, ~%d flash programs not re-simulated\n",
+			st.Hits, st.Misses, st.Stores, st.ProgramsSaved)
 	}
 
 	if *jsonOut {

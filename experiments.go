@@ -7,9 +7,11 @@ import (
 	"strings"
 	"time"
 
+	"learnedftl/internal/ftl"
 	"learnedftl/internal/gc"
 	"learnedftl/internal/learned"
 	"learnedftl/internal/nand"
+	"learnedftl/internal/persist"
 	"learnedftl/internal/sim"
 	"learnedftl/internal/stats"
 	"learnedftl/internal/sweep"
@@ -54,6 +56,14 @@ type Budget struct {
 	// ladder upward from the device config's ratio).
 	GCPolicies string  `json:"gc_policies,omitempty"`
 	OPRatio    float64 `json:"op_ratio,omitempty"`
+
+	// Checkpoints, when set, lets experiment cells restore a warmed device
+	// from a snapshot keyed by (scheme, config, warm-up spec) instead of
+	// re-simulating the warm-up — the dominant cost of a sweep. Snapshots
+	// are bit-exact, so tables are byte-identical with or without the
+	// cache; a missing or stale entry just falls back to the cold path and
+	// repopulates it. Shared safely across parallel cells.
+	Checkpoints *persist.Cache `json:"-"`
 }
 
 // gcPolicyList resolves the budget's policy subset, erroring on typos so a
@@ -165,15 +175,63 @@ func lat(t nand.Time) string {
 	}
 }
 
+// persistKey canonically identifies a (scheme, configuration) pair for
+// snapshot fingerprints. Config is a flat value struct, so %+v renders it
+// deterministically.
+func persistKey(name string, cfg Config) string {
+	return fmt.Sprintf("%s|%+v", name, cfg)
+}
+
+// warmKey identifies a warm checkpoint: the device identity plus the
+// warm-up spec (the settle phase is derived from the config, so WarmExtra
+// is the only free parameter). The leading tag versions the warm-up recipe
+// itself — change warmDevice, bump the tag.
+func warmKey(s Scheme, cfg Config, extra int) string {
+	return fmt.Sprintf("warm1|extra=%d|%s", extra, persistKey(s.String(), cfg))
+}
+
 // newWarmed builds a scheme's device and brings it to the paper's steady
-// state: a sequential fill plus `extra` capacities of 512KB random
-// overwrites (§IV-B), with metrics reset afterwards.
-func newWarmed(s Scheme, cfg Config, extra int) (FTL, error) {
+// state: a sequential fill plus Budget.WarmExtra capacities of 512KB
+// random overwrites (§IV-B), with metrics reset afterwards. With
+// Budget.Checkpoints set, a cached warm snapshot restores the device
+// instead — bit-exact, so downstream measurement is unchanged — and a cold
+// warm-up stores its snapshot for the next cell or run.
+func newWarmed(s Scheme, cfg Config, b Budget) (FTL, error) {
+	if b.Checkpoints == nil {
+		f, err := New(s, cfg)
+		if err != nil {
+			return nil, err
+		}
+		warmDevice(f, b.WarmExtra)
+		return f, nil
+	}
+	key := warmKey(s, cfg, b.WarmExtra)
+	if data, ok := b.Checkpoints.Load(key); ok {
+		f, err := New(s, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if dev, devOK := f.(persist.Device); devOK {
+			if err := persist.Restore(dev, key, data); err == nil {
+				// The restored lifetime program count is exactly the
+				// warm-up work this hit avoided re-simulating.
+				life := f.Flash().LifetimeCounters()
+				b.Checkpoints.NoteRestored(life.TotalPrograms())
+				return f, nil
+			}
+		}
+		// Corrupt or stale (format bump): counts as a miss; fall through
+		// to a cold warm-up, which overwrites the entry.
+		b.Checkpoints.NoteUnusable()
+	}
 	f, err := New(s, cfg)
 	if err != nil {
 		return nil, err
 	}
-	warmDevice(f, extra)
+	warmDevice(f, b.WarmExtra)
+	if dev, devOK := f.(persist.Device); devOK {
+		b.Checkpoints.Store(key, persist.Snapshot(dev, key))
+	}
 	return f, nil
 }
 
@@ -280,7 +338,7 @@ func LoadSweep(cfg Config, b Budget) (Table, error) {
 	rows := make([][]string, len(schemes)*len(rates))
 	err = runCells(b, len(rows), func(i int) error {
 		si, ri := i/len(rates), i%len(rates)
-		f, err := newWarmed(schemes[si], cfg, b.WarmExtra)
+		f, err := newWarmed(schemes[si], cfg, b)
 		if err != nil {
 			return err
 		}
@@ -349,7 +407,7 @@ func TenantMixExp(cfg Config, b Budget) (Table, error) {
 	const tenants = 2
 	rows := make([][]string, len(schemes)*tenants)
 	err = runCells(b, len(schemes), func(i int) error {
-		f, err := newWarmed(schemes[i], cfg, b.WarmExtra)
+		f, err := newWarmed(schemes[i], cfg, b)
 		if err != nil {
 			return err
 		}
@@ -388,7 +446,7 @@ func Fig2(cfg Config, b Budget) (Table, error) {
 	type cell struct{ seq, rnd stats.Report }
 	res := make([]cell, len(threads))
 	err := runCells(b, len(threads), func(i int) error {
-		f, err := newWarmed(SchemeTPFTL, cfg, b.WarmExtra)
+		f, err := newWarmed(SchemeTPFTL, cfg, b)
 		if err != nil {
 			return err
 		}
@@ -420,7 +478,7 @@ func Fig3(cfg Config, b Budget) (Table, error) {
 	err := runCells(b, len(ratios), func(i int) error {
 		c := cfg
 		c.CMTRatio = ratios[i]
-		f, err := newWarmed(SchemeTPFTL, c, b.WarmExtra)
+		f, err := newWarmed(SchemeTPFTL, c, b)
 		if err != nil {
 			return err
 		}
@@ -446,7 +504,7 @@ func Fig6(cfg Config, b Budget) (Table, error) {
 	schemes := []Scheme{SchemeTPFTL, SchemeLeaFTL}
 	res := make([]stats.Report, len(schemes))
 	err := runCells(b, len(schemes), func(i int) error {
-		f, err := newWarmed(schemes[i], cfg, b.WarmExtra)
+		f, err := newWarmed(schemes[i], cfg, b)
 		if err != nil {
 			return err
 		}
@@ -490,7 +548,7 @@ func Fig7(cfg Config, b Budget) (Table, error) {
 	// cell's device, as the paper's successive Filebench runs do.
 	res := make([][]stats.Report, len(schemes))
 	err := runCells(b, len(schemes), func(i int) error {
-		f, err := newWarmed(schemes[i], cfg, b.WarmExtra)
+		f, err := newWarmed(schemes[i], cfg, b)
 		if err != nil {
 			return err
 		}
@@ -533,7 +591,7 @@ func Fig14(cfg Config, b Budget) (Table, error) {
 	rows := make([][]string, len(schemes))
 	err := runCells(b, len(schemes), func(i int) error {
 		s := schemes[i]
-		f, err := newWarmed(s, cfg, b.WarmExtra)
+		f, err := newWarmed(s, cfg, b)
 		if err != nil {
 			return err
 		}
@@ -619,7 +677,7 @@ func Fig16(cfg Config, b Budget) (Table, error) {
 	rows := make([][]string, len(schemes))
 	err := runCells(b, len(schemes), func(i int) error {
 		s := schemes[i]
-		f, err := newWarmed(s, cfg, b.WarmExtra)
+		f, err := newWarmed(s, cfg, b)
 		if err != nil {
 			return err
 		}
@@ -659,7 +717,7 @@ func Fig17(cfg Config, b Budget) (Table, error) {
 	rows := make([][]string, len(mults))
 	err := runCells(b, len(mults), func(i int) error {
 		mult := mults[i]
-		f, err := newWarmed(SchemeLearnedFTL, cfg, b.WarmExtra)
+		f, err := newWarmed(SchemeLearnedFTL, cfg, b)
 		if err != nil {
 			return err
 		}
@@ -784,7 +842,7 @@ func Fig20(cfg Config, b Budget) (Table, error) {
 	rows := make([][]string, len(schemes))
 	err := runCells(b, len(schemes), func(i int) error {
 		s := schemes[i]
-		f, err := newWarmed(s, cfg, b.WarmExtra)
+		f, err := newWarmed(s, cfg, b)
 		if err != nil {
 			return err
 		}
@@ -850,7 +908,7 @@ func runTraceGrid(cfg Config, b Budget, specs []workload.TraceSpec, schemes []Sc
 	}
 	err := runCells(b, len(specs)*len(schemes), func(i int) error {
 		ti, si := i/len(schemes), i%len(schemes)
-		f, err := newWarmed(schemes[si], cfg, b.WarmExtra)
+		f, err := newWarmed(schemes[si], cfg, b)
 		if err != nil {
 			return err
 		}
@@ -959,7 +1017,7 @@ func GCSweep(cfg Config, b Budget) (Table, error) {
 		c := cfg
 		c.OPRatio = ratios[ri]
 		c.GCPolicy = pols[pi]
-		f, err := newWarmed(schemes[si], c, b.WarmExtra)
+		f, err := newWarmed(schemes[si], c, b)
 		if err != nil {
 			return err
 		}
@@ -1012,7 +1070,7 @@ func GCLat(cfg Config, b Budget) (Table, error) {
 	rows := make([][]string, len(schemes)*len(gcLatModes))
 	err = runCells(b, len(rows), func(i int) error {
 		si, mi := i/len(gcLatModes), i%len(gcLatModes)
-		f, err := newWarmed(schemes[si], cfg, b.WarmExtra)
+		f, err := newWarmed(schemes[si], cfg, b)
 		if err != nil {
 			return err
 		}
@@ -1048,6 +1106,75 @@ func GCLat(cfg Config, b Budget) (Table, error) {
 	}, nil
 }
 
+// mountFills is the device-fill ladder of the mountlat experiment, as
+// fractions of the logical space written before the crash.
+var mountFills = []float64{0.25, 0.50, 0.75, 1.00}
+
+// MountLat measures crash-recovery time: for every scheme × fill level the
+// device is filled, "loses power" (all DRAM translation state dropped) and
+// remounts by scanning the flash array's out-of-band reverse mappings to
+// rebuild the L2P and GTD (paper Fig. 11 — the OOB carries the reverse
+// mapping precisely so this scan is possible). Mount latency is the timed
+// scan's makespan: each chip reads the OOB of its programmed pages —
+// stale pages included, since staleness is only known after reading — with
+// chips scanning in parallel. The fill phase is a sequential write of the
+// leading fraction of the logical space, so scanned pages grow with fill
+// and the recovery-time-vs-fill curve is the deliverable. Schemes differ
+// through their flash footprints: translation-page maintenance and
+// buffering change how many pages a fill leaves programmed.
+func MountLat(cfg Config, b Budget) (Table, error) {
+	schemes := Schemes()
+	rows := make([][]string, len(schemes)*len(mountFills))
+	err := runCells(b, len(rows), func(i int) error {
+		si, fi := i/len(mountFills), i%len(mountFills)
+		f, err := New(schemes[si], cfg)
+		if err != nil {
+			return err
+		}
+		rec, ok := f.(ftl.CrashRecoverer)
+		if !ok {
+			return fmt.Errorf("learnedftl: %s does not support crash recovery", f.Name())
+		}
+		sh, ok := f.(interface{ ShadowL2P() []nand.PPN })
+		if !ok {
+			return fmt.Errorf("learnedftl: %s does not expose a shadow L2P", f.Name())
+		}
+		lp := f.Config().LogicalPages()
+		fill := int64(float64(lp) * mountFills[fi])
+		var now nand.Time
+		for l := int64(0); l < fill; l += 128 {
+			n := fill - l
+			if n > 128 {
+				n = 128
+			}
+			now = f.WritePages(l, int(n), now)
+		}
+		f.Flash().ResetCounters()
+		start := f.Flash().MaxChipBusy()
+		done := rec.RecoverFromCrash(start)
+		cnt := f.Flash().Counters()
+		mapped := int64(0)
+		for _, p := range sh.ShadowL2P() {
+			if p != nand.InvalidPPN {
+				mapped++
+			}
+		}
+		rows[i] = []string{
+			schemes[si].String(), pct(mountFills[fi]), fmt.Sprint(mapped),
+			fmt.Sprint(cnt.Reads[nand.OpMount]), lat(done - start),
+		}
+		return nil
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	return Table{
+		Title:  "Mount latency: OOB crash-recovery scan vs device fill (scanned = programmed pages whose OOB the mount read)",
+		Header: []string{"FTL", "fill", "recovered LPNs", "scanned pages", "mount"},
+		Rows:   rows,
+	}, nil
+}
+
 // ExperimentInfo describes one runnable experiment for the registry and
 // the ftlbench -list table.
 type ExperimentInfo struct {
@@ -1079,6 +1206,7 @@ func ExperimentList() []ExperimentInfo {
 		{"tenantmix", "two rate-controlled tenants sharing one device", TenantMixExp},
 		{"gcsweep", "write amplification and wear vs over-provisioning x GC policy", GCSweep},
 		{"gclat", "open-loop write tails: foreground vs background GC", GCLat},
+		{"mountlat", "OOB crash-recovery scan latency vs device fill", MountLat},
 	}
 }
 

@@ -61,7 +61,7 @@ func TestBackgroundGCCutsWriteTail(t *testing.T) {
 	b := sweepTestBudget(1)
 	for _, s := range []Scheme{SchemeDFTL, SchemeTPFTL} {
 		runMode := func(bg bool) (p999 int64, bgGCs int64) {
-			f, err := newWarmed(s, cfg, b.WarmExtra)
+			f, err := newWarmed(s, cfg, b)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -94,7 +94,7 @@ func TestBackgroundGCCutsWriteTail(t *testing.T) {
 func TestTrimReducesWriteAmplification(t *testing.T) {
 	cfg := TinyConfig()
 	run := func(trimEvery int) (wa float64, trims int64) {
-		f, err := newWarmed(SchemeDFTL, cfg, 1)
+		f, err := newWarmed(SchemeDFTL, cfg, Budget{WarmExtra: 1})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -188,6 +188,12 @@ func New(cfg ftl.Config, opt Options) (*LearnedFTL, error) {
 // Name implements ftl.FTL.
 func (f *LearnedFTL) Name() string { return "LearnedFTL" }
 
+// Options returns the ablation options the device was built with. Snapshot
+// fingerprints include them: options change behavior (training charges,
+// prediction cost, VPPN ablation), so a snapshot must never silently
+// restore into a differently optioned device.
+func (f *LearnedFTL) Options() Options { return f.opt }
+
 // Collector implements ftl.FTL.
 func (f *LearnedFTL) Collector() *stats.Collector { return f.col }
 

@@ -159,3 +159,48 @@ func TestCoreTrimFreesGroupSpace(t *testing.T) {
 		}
 	}
 }
+
+// TestGroupCandidateAgeIgnoresPreviousBlockLife is the regression test for
+// the stale-lastMod bug: groupCandidate takes the max program recency over
+// every block of a group's rows, including blocks not yet (re)programmed.
+// Before the fix, nand.Flash.Erase left lastMod from the block's previous
+// life, so a group that took a freshly erased row looked recently written
+// and age-weighted policies (costbenefit, costage) mis-scored it.
+func TestGroupCandidateAgeIgnoresPreviousBlockLife(t *testing.T) {
+	f := newFTL(t)
+	geo := f.fl.Geometry()
+
+	// Give block (unit 0, row r) a previous life ending late: program every
+	// page at a large virtual time, invalidate, erase.
+	r := f.transRows + 2 // a data row, left free by the allocator so far
+	blk := 0*geo.BlocksPerUnit + r
+	staleTime := 5 * nand.Second
+	now := staleTime
+	base := nand.PPN(int64(blk) * int64(geo.PagesPerBlock))
+	for i := 0; i < geo.PagesPerBlock; i++ {
+		done, err := f.fl.Program(base+nand.PPN(i), nand.OOB{Key: int64(i)}, now, nand.OpHostData)
+		if err != nil {
+			t.Fatal(err)
+		}
+		now = done
+	}
+	for i := 0; i < geo.PagesPerBlock; i++ {
+		if err := f.fl.Invalidate(base + nand.PPN(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := f.fl.Erase(blk, now); err != nil {
+		t.Fatal(err)
+	}
+
+	// Hand the erased row to group 0 with nothing programmed into it yet.
+	f.rowOwner[r] = 0
+	f.groups[0].rows = []int{r}
+	f.groups[0].wp = 0
+
+	probe := 20 * nand.Second
+	c := f.groupCandidate(0, probe)
+	if c.Age != probe {
+		t.Fatalf("candidate age = %d, want the full %d: the erased block's previous life leaked into scoring", c.Age, probe)
+	}
+}

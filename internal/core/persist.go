@@ -1,0 +1,314 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"learnedftl/internal/learned"
+	"learnedftl/internal/mapping"
+	"learnedftl/internal/nand"
+	"learnedftl/internal/persist"
+)
+
+// This file is LearnedFTL's side of the persistence subsystem: the full
+// device snapshot (flash, L2P, GTD, CMT, in-place models, group-allocation
+// state and the translation pool, all in deterministic order) and the OOB
+// crash-recovery scan that rebuilds the translation and allocation state
+// from the flash array alone.
+
+// ShadowL2P returns a copy of the authoritative logical-to-physical map
+// (recovery invariants, tests).
+func (f *LearnedFTL) ShadowL2P() []nand.PPN {
+	return append([]nand.PPN(nil), f.l2p...)
+}
+
+// GTDLocations returns a copy of the GTD's translation-page locations
+// (recovery invariants, tests).
+func (f *LearnedFTL) GTDLocations() []nand.PPN {
+	out := make([]nand.PPN, f.gtd.NumTPNs())
+	for t := range out {
+		out[t] = f.gtd.Lookup(t)
+	}
+	return out
+}
+
+// SaveState implements the persist.Device contract.
+func (f *LearnedFTL) SaveState(e *persist.Encoder) {
+	persist.SaveFlash(e, f.fl)
+	persist.SavePPNs(e, f.l2p)
+	persist.SaveGTD(e, f.gtd)
+	persist.SaveCMT(e, f.cmt)
+	e.U64(uint64(len(f.models)))
+	for _, m := range f.models {
+		st := m.ExportState()
+		e.I64(st.Base)
+		e.U64(uint64(len(st.Pieces)))
+		for _, p := range st.Pieces {
+			e.I64(p.Off)
+			e.F64(p.K)
+			e.F64(p.B)
+		}
+		e.U64(uint64(len(st.Bits)))
+		for _, w := range st.Bits {
+			e.U64(w)
+		}
+	}
+	e.U64(uint64(len(f.groups)))
+	for i := range f.groups {
+		g := &f.groups[i]
+		e.Ints(g.rows)
+		e.Int(g.wp)
+		e.Int(g.encroach)
+		e.Bool(g.pendingGC)
+	}
+	e.Ints(f.rowOwner)
+	e.Ints(f.rowInvalid)
+	e.Ints(f.freeRows)
+	e.Ints(f.pending)
+	e.F64(f.emaLen)
+	e.Ints(f.tp.active)
+	e.U64(uint64(len(f.tp.free)))
+	for u := range f.tp.free {
+		e.Ints(f.tp.free[u])
+	}
+}
+
+// LoadState restores a snapshot into a freshly constructed LearnedFTL of
+// the same configuration.
+func (f *LearnedFTL) LoadState(d *persist.Decoder) error {
+	if err := persist.LoadFlash(d, f.fl); err != nil {
+		return err
+	}
+	if err := persist.LoadPPNsInto(d, f.l2p); err != nil {
+		return err
+	}
+	if err := persist.LoadGTD(d, f.gtd); err != nil {
+		return err
+	}
+	f.cmt = mapping.NewCMT(f.cfg.CMTEntriesFor(f.cfg.CMTRatio / 2))
+	if err := persist.LoadCMT(d, f.cmt); err != nil {
+		return err
+	}
+	if n := d.U64(); d.Err() == nil && n != uint64(len(f.models)) {
+		return fmt.Errorf("core: snapshot of %d models, want %d", n, len(f.models))
+	}
+	for i := range f.models {
+		var st learned.ModelState
+		st.Base = d.I64()
+		st.Pieces = make([]learned.Piece, d.U64())
+		for pi := range st.Pieces {
+			st.Pieces[pi] = learned.Piece{Off: d.I64(), K: d.F64(), B: d.F64()}
+		}
+		st.Bits = make([]uint64, d.U64())
+		for wi := range st.Bits {
+			st.Bits[wi] = d.U64()
+		}
+		if err := d.Err(); err != nil {
+			return err
+		}
+		if err := f.models[i].ImportState(st); err != nil {
+			return err
+		}
+	}
+	if n := d.U64(); d.Err() == nil && n != uint64(len(f.groups)) {
+		return fmt.Errorf("core: snapshot of %d groups, want %d", n, len(f.groups))
+	}
+	for i := range f.groups {
+		f.groups[i] = group{
+			rows:      d.Ints(),
+			wp:        d.Int(),
+			encroach:  d.Int(),
+			pendingGC: d.Bool(),
+		}
+	}
+	rowOwner := d.Ints()
+	rowInvalid := d.Ints()
+	f.freeRows = d.Ints()
+	f.pending = d.Ints()
+	f.emaLen = d.F64()
+	active := d.Ints()
+	nf := d.U64()
+	if d.Err() == nil &&
+		(len(rowOwner) != len(f.rowOwner) || len(rowInvalid) != len(f.rowInvalid) ||
+			len(active) != len(f.tp.active) || nf != uint64(len(f.tp.free))) {
+		return fmt.Errorf("core: snapshot row/pool geometry mismatch")
+	}
+	if err := d.Err(); err != nil {
+		return err
+	}
+	copy(f.rowOwner, rowOwner)
+	copy(f.rowInvalid, rowInvalid)
+	copy(f.tp.active, active)
+	for u := range f.tp.free {
+		f.tp.free[u] = d.Ints()
+	}
+	f.inGC = false
+	return d.Err()
+}
+
+// RecoverFromCrash implements ftl.CrashRecoverer: every DRAM structure —
+// L2P, GTD, CMT, the in-place models with their bitmap filters, the group
+// allocation table and the translation pool's view — is discarded, then
+// the timed OOB scan rebuilds the L2P (data pages) and GTD (translation
+// pages), the superblock-row ownership is re-derived from the surviving
+// pages' LPNs, and the allocator views are reconstructed from the write
+// pointers. Models restart untrained: their bitmap filters are all-zero,
+// so every read falls back to the demand path until GC retrains (§III-E2)
+// — slower, never wrong.
+func (f *LearnedFTL) RecoverFromCrash(now nand.Time) nand.Time {
+	for i := range f.l2p {
+		f.l2p[i] = nand.InvalidPPN
+	}
+	f.gtd = mapping.NewGTD(len(f.models))
+	f.cmt = mapping.NewCMT(f.cfg.CMTEntriesFor(f.cfg.CMTRatio / 2))
+	for i := range f.models {
+		f.models[i] = learned.NewInPlaceModel(f.cfg.EntriesPerTP, f.cfg.MaxPieces)
+	}
+	f.pending = nil
+	f.emaLen = 1
+	f.inGC = false
+	res := persist.ScanOOB(f.fl, now)
+	lp := int64(len(f.l2p))
+	for _, m := range res.Data {
+		if m.Key >= 0 && m.Key < lp {
+			f.l2p[m.Key] = m.PPN
+		}
+	}
+	for _, m := range res.Trans {
+		if m.Key >= 0 && m.Key < int64(f.gtd.NumTPNs()) {
+			f.gtd.Update(int(m.Key), m.PPN)
+		}
+	}
+	f.rebuildRows()
+	f.tp.rebuild()
+	return res.Done
+}
+
+// rowProgrammed returns the number of programmed slots in superblock row r
+// (the row's write position: slots fill in VPPN order, so the programmed
+// slots are a prefix).
+func (f *LearnedFTL) rowProgrammed(r int) int {
+	g := f.fl.Geometry()
+	n := 0
+	for u := 0; u < g.Units(); u++ {
+		n += f.fl.BlockWritePtr(u*g.BlocksPerUnit + r)
+	}
+	return n
+}
+
+// rebuildRows re-derives the group-allocation state from the flash array:
+// row ownership by majority vote over each row's valid pages' LPN→group
+// mapping (ties to the lowest group id; a fully stale row falls to its
+// first page's former owner so group GC can still reclaim it), per-row
+// invalid counts by recount, free rows from empty write pointers, and each
+// group's write position from its most recently opened — least filled —
+// row.
+func (f *LearnedFTL) rebuildRows() {
+	g := f.fl.Geometry()
+	for r := range f.rowOwner {
+		if r < f.transRows {
+			f.rowOwner[r] = -2
+		} else {
+			f.rowOwner[r] = -1
+		}
+		f.rowInvalid[r] = 0
+	}
+	for i := range f.groups {
+		f.groups[i] = group{}
+	}
+	rowsOf := make([][]int, f.ngroups)
+	votes := make([]int, f.ngroups)
+	for r := f.transRows; r < g.BlocksPerUnit; r++ {
+		for i := range votes {
+			votes[i] = 0
+		}
+		programmed, invalid, firstOwner := 0, 0, -1
+		for u := 0; u < g.Units(); u++ {
+			blk := u*g.BlocksPerUnit + r
+			wp := f.fl.BlockWritePtr(blk)
+			programmed += wp
+			base := nand.PPN(int64(blk) * int64(g.PagesPerBlock))
+			for i := 0; i < wp; i++ {
+				p := base + nand.PPN(i)
+				oob := f.fl.PageOOB(p)
+				owner := int(oob.Key / int64(f.span))
+				if owner < 0 || owner >= f.ngroups {
+					continue
+				}
+				if firstOwner == -1 {
+					firstOwner = owner
+				}
+				if f.fl.State(p) == nand.PageValid {
+					votes[owner]++
+				} else {
+					invalid++
+				}
+			}
+		}
+		if programmed == 0 {
+			continue // stays free
+		}
+		owner, best := firstOwner, 0
+		for id, v := range votes {
+			if v > best {
+				owner, best = id, v
+			}
+		}
+		if owner < 0 {
+			continue // OOB keys all out of range: unclaimable, stays free
+		}
+		f.rowOwner[r] = owner
+		f.rowInvalid[r] = invalid
+		rowsOf[owner] = append(rowsOf[owner], r)
+	}
+	// Free rows push in descending id order so low rows pop first — the
+	// constructor's convention, kept for determinism.
+	f.freeRows = f.freeRows[:0]
+	for r := g.BlocksPerUnit - 1; r >= f.transRows; r-- {
+		if f.rowOwner[r] == -1 {
+			f.freeRows = append(f.freeRows, r)
+		}
+	}
+	for gid := range f.groups {
+		rows := rowsOf[gid]
+		// Fully programmed rows first (ascending), then partial rows
+		// (ascending): the last row is the group's active one, and its
+		// programmed count is the group's write position.
+		sort.SliceStable(rows, func(i, j int) bool {
+			fi := f.rowProgrammed(rows[i]) == f.sbPages
+			fj := f.rowProgrammed(rows[j]) == f.sbPages
+			if fi != fj {
+				return fi
+			}
+			return rows[i] < rows[j]
+		})
+		f.groups[gid].rows = rows
+		if len(rows) > 0 {
+			f.groups[gid].wp = f.rowProgrammed(rows[len(rows)-1])
+		}
+	}
+}
+
+// rebuild reconstructs the translation pool's allocator view from the
+// flash array after a crash: empty pool blocks re-form the free lists in
+// constructor order (low rows pop first), and a partially programmed pool
+// block reopens as its unit's active block (lowest id wins).
+func (p *transPool) rebuild() {
+	g := p.fl.Geometry()
+	for u := range p.active {
+		p.active[u] = -1
+		p.free[u] = p.free[u][:0]
+	}
+	for _, blk := range p.blocks { // per unit, descending row order
+		u := blk / g.BlocksPerUnit
+		wp := p.fl.BlockWritePtr(blk)
+		switch {
+		case wp == 0:
+			p.free[u] = append(p.free[u], blk)
+		case wp < g.PagesPerBlock:
+			// blocks is ordered descending within a unit, so the final
+			// assignment — the lowest id — wins deterministically.
+			p.active[u] = blk
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"learnedftl/internal/ftl"
 	"learnedftl/internal/mapping"
 	"learnedftl/internal/nand"
+	"learnedftl/internal/persist"
 	"learnedftl/internal/stats"
 )
 
@@ -130,6 +131,31 @@ func (d *DFTL) GCFinalize(moved []int64, t nand.Time) nand.Time {
 			d.cmt.MarkClean(e.LPN)
 		}
 	}
+	return t
+}
+
+// SaveState implements the persist.Device contract: the shared base state
+// plus the CMT in exact recency order.
+func (d *DFTL) SaveState(e *persist.Encoder) {
+	d.SaveBaseState(e)
+	persist.SaveCMT(e, d.cmt)
+}
+
+// LoadState restores a snapshot into a freshly constructed DFTL of the
+// same configuration.
+func (d *DFTL) LoadState(dec *persist.Decoder) error {
+	if err := d.LoadBaseState(dec); err != nil {
+		return err
+	}
+	d.cmt = mapping.NewCMT(d.Cfg.CMTEntries())
+	return persist.LoadCMT(dec, d.cmt)
+}
+
+// RecoverFromCrash implements ftl.CrashRecoverer: the base OOB scan
+// rebuilds L2P + GTD, and the CMT — DRAM, lost with power — restarts cold.
+func (d *DFTL) RecoverFromCrash(now nand.Time) nand.Time {
+	t := d.Base.RecoverFromCrash(now)
+	d.cmt = mapping.NewCMT(d.Cfg.CMTEntries())
 	return t
 }
 

@@ -124,7 +124,7 @@ func (c Config) TPRange(tpn int) (lo, hi int64) {
 	return lo, lo + int64(c.EntriesPerTP)
 }
 
-// CMTEntries returns the mapping-cache capacity in entries for ratio r.
+// CMTEntriesFor returns the mapping-cache capacity in entries for ratio r.
 func (c Config) CMTEntriesFor(r float64) int {
 	n := int(float64(c.LogicalPages()) * r)
 	if n < 1 {

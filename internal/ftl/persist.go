@@ -1,0 +1,185 @@
+package ftl
+
+import (
+	"fmt"
+
+	"learnedftl/internal/gc"
+	"learnedftl/internal/mapping"
+	"learnedftl/internal/nand"
+	"learnedftl/internal/persist"
+)
+
+// This file is the persistence side of the shared device state: the
+// snapshot hooks Base contributes to every scheme's SaveState/LoadState,
+// and the OOB crash-recovery path that rebuilds the DRAM translation state
+// from the flash array alone (paper Fig. 11: the reverse mapping lives in
+// each page's spare area precisely so a mount can rebuild the L2P after
+// power loss).
+
+// CrashRecoverer is implemented by devices that can drop their DRAM state
+// and rebuild it from the flash array's out-of-band metadata, modeling the
+// mount-time recovery scan. The returned time is the scan's completion —
+// mount latency measured from the passed start time.
+type CrashRecoverer interface {
+	RecoverFromCrash(now nand.Time) nand.Time
+}
+
+// SaveBaseState appends the shared device state: the flash array, the L2P
+// shadow map, the GTD, the block manager's allocator stacks (in exact pop
+// order) and the GC controller's counters. Schemes append their own cache
+// and model state after it.
+func (b *Base) SaveBaseState(e *persist.Encoder) {
+	persist.SaveFlash(e, b.Fl)
+	persist.SavePPNs(e, b.L2P)
+	persist.SaveGTD(e, b.GTD)
+	b.BM.save(e)
+	st := b.GC.Stats()
+	e.I64(st.Foreground)
+	e.I64(st.Background)
+	e.I64(st.PagesMoved)
+	e.I64(st.Aborted)
+}
+
+// LoadBaseState restores a SaveBaseState section into a freshly
+// constructed Base of the same configuration.
+func (b *Base) LoadBaseState(d *persist.Decoder) error {
+	if err := persist.LoadFlash(d, b.Fl); err != nil {
+		return err
+	}
+	if err := persist.LoadPPNsInto(d, b.L2P); err != nil {
+		return err
+	}
+	if err := persist.LoadGTD(d, b.GTD); err != nil {
+		return err
+	}
+	if err := b.BM.load(d); err != nil {
+		return err
+	}
+	b.GC.ImportStats(gc.Stats{
+		Foreground: d.I64(),
+		Background: d.I64(),
+		PagesMoved: d.I64(),
+		Aborted:    d.I64(),
+	})
+	return d.Err()
+}
+
+// SaveState implements the persist.Device contract for schemes with no
+// state beyond Base (the ideal FTL). Schemes with caches shadow it.
+func (b *Base) SaveState(e *persist.Encoder) { b.SaveBaseState(e) }
+
+// LoadState is SaveState's counterpart.
+func (b *Base) LoadState(d *persist.Decoder) error { return b.LoadBaseState(d) }
+
+// ShadowL2P returns a copy of the authoritative logical-to-physical map
+// (recovery invariants, tests).
+func (b *Base) ShadowL2P() []nand.PPN {
+	return append([]nand.PPN(nil), b.L2P...)
+}
+
+// GTDLocations returns a copy of the GTD's translation-page locations
+// (recovery invariants, tests).
+func (b *Base) GTDLocations() []nand.PPN {
+	out := make([]nand.PPN, b.GTD.NumTPNs())
+	for t := range out {
+		out[t] = b.GTD.Lookup(t)
+	}
+	return out
+}
+
+// RecoverFromCrash implements CrashRecoverer for every Base-embedding
+// scheme: the DRAM translation state (L2P, GTD, allocator view) is
+// discarded and rebuilt from the flash array's OOB metadata via a timed
+// mount scan. Schemes with DRAM caches shadow this to also drop them — a
+// stale cache would serve pre-crash PPNs.
+func (b *Base) RecoverFromCrash(now nand.Time) nand.Time {
+	for i := range b.L2P {
+		b.L2P[i] = nand.InvalidPPN
+	}
+	b.GTD = mapping.NewGTD(b.Cfg.NumTPNs())
+	res := persist.ScanOOB(b.Fl, now)
+	lp := int64(len(b.L2P))
+	for _, m := range res.Data {
+		if m.Key >= 0 && m.Key < lp {
+			b.L2P[m.Key] = m.PPN
+		}
+	}
+	for _, m := range res.Trans {
+		if m.Key >= 0 && m.Key < int64(b.GTD.NumTPNs()) {
+			b.GTD.Update(int(m.Key), m.PPN)
+		}
+	}
+	b.BM.RebuildFromFlash()
+	return res.Done
+}
+
+// save appends the allocator's mutable state: per-chip free stacks in
+// exact pop order plus the active block of each stream. freeCount derives
+// from the stacks.
+func (b *BlockMan) save(e *persist.Encoder) {
+	e.Int(len(b.free))
+	for chip := range b.free {
+		e.Ints(b.free[chip])
+	}
+	e.Ints(b.activeData)
+	e.Ints(b.activeTrans)
+}
+
+// load restores a save section into an allocator over the same geometry.
+func (b *BlockMan) load(d *persist.Decoder) error {
+	chips := d.Int()
+	if d.Err() == nil && chips != len(b.free) {
+		return fmt.Errorf("ftl: allocator snapshot of %d chips, want %d", chips, len(b.free))
+	}
+	b.freeCount = 0
+	for chip := 0; chip < len(b.free); chip++ {
+		b.free[chip] = d.Ints()
+		b.freeCount += len(b.free[chip])
+	}
+	ad := d.Ints()
+	at := d.Ints()
+	if d.Err() == nil && (len(ad) != len(b.activeData) || len(at) != len(b.activeTrans)) {
+		return fmt.Errorf("ftl: allocator active-block snapshot length mismatch")
+	}
+	if d.Err() != nil {
+		return d.Err()
+	}
+	copy(b.activeData, ad)
+	copy(b.activeTrans, at)
+	return nil
+}
+
+// RebuildFromFlash reconstructs the allocator's view from the flash array
+// after a crash: fully erased blocks form the free stacks (low ids pop
+// first, the constructor's order), a partially programmed block reopens as
+// its chip's active block for the stream its most recent program belongs
+// to (data or translation, read from the page's OOB; the lowest-id
+// candidate wins deterministically), and full blocks wait for GC.
+func (b *BlockMan) RebuildFromFlash() {
+	g := b.f.Geometry()
+	blocksPerChip := g.Planes * g.BlocksPerUnit
+	b.freeCount = 0
+	for chip := range b.free {
+		b.free[chip] = b.free[chip][:0]
+		b.activeData[chip] = -1
+		b.activeTrans[chip] = -1
+		for i := blocksPerChip - 1; i >= 0; i-- {
+			blk := chip*blocksPerChip + i
+			wp := b.f.BlockWritePtr(blk)
+			switch {
+			case wp == 0:
+				b.free[chip] = append(b.free[chip], blk)
+				b.freeCount++
+			case wp < g.PagesPerBlock:
+				// Descending iteration: a later (lower-id) candidate
+				// overwrites, so the lowest id ends up active.
+				last := nand.PPN(int64(blk)*int64(g.PagesPerBlock) + int64(wp-1))
+				if b.f.PageOOB(last).Trans {
+					b.activeTrans[chip] = blk
+				} else {
+					b.activeData[chip] = blk
+				}
+			}
+		}
+	}
+}

@@ -118,6 +118,9 @@ func (c *Controller) InGC() bool { return c.inGC }
 // Stats returns a copy of the per-policy counters.
 func (c *Controller) Stats() Stats { return c.stats }
 
+// ImportStats replaces the per-policy counters (device snapshot restore).
+func (c *Controller) ImportStats(s Stats) { c.stats = s }
+
 // LastErr returns the most recent collection error (nil when healthy);
 // Foreground and Background stop collecting on error rather than panic,
 // and the allocation failure that follows upstream reports this cause.

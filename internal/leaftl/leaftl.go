@@ -15,6 +15,7 @@ import (
 	"learnedftl/internal/ftl"
 	"learnedftl/internal/learned"
 	"learnedftl/internal/nand"
+	"learnedftl/internal/persist"
 	"learnedftl/internal/stats"
 )
 
@@ -218,6 +219,106 @@ func (l *LeaFTL) predict(tpn int, lpn int64) nand.PPN {
 		v = total - 1
 	}
 	return l.Codec.ToPhysical(nand.VPPN(v))
+}
+
+// SaveState implements the persist.Device contract: the shared base state,
+// the data buffer (sorted — the buffer is an unordered set whose only
+// consumer sorts before use), every translation page's learned segments
+// with their exact LSMT level structure, and the model cache in exact
+// recency order.
+func (l *LeaFTL) SaveState(e *persist.Encoder) {
+	l.SaveBaseState(e)
+	lpns := make([]int64, 0, len(l.buffer))
+	for lpn := range l.buffer {
+		lpns = append(lpns, lpn)
+	}
+	sort.Slice(lpns, func(i, j int) bool { return lpns[i] < lpns[j] })
+	e.U64(uint64(len(lpns)))
+	for _, lpn := range lpns {
+		e.I64(lpn)
+	}
+	tpns := make([]int, 0, len(l.models))
+	for tpn := range l.models {
+		tpns = append(tpns, tpn)
+	}
+	sort.Ints(tpns)
+	e.U64(uint64(len(tpns)))
+	for _, tpn := range tpns {
+		e.Int(tpn)
+		levels := l.models[tpn].ExportLevels()
+		e.U64(uint64(len(levels)))
+		for _, lv := range levels {
+			e.U64(uint64(len(lv)))
+			for _, s := range lv {
+				e.I64(s.S)
+				e.I64(int64(s.L))
+				e.F64(s.K)
+				e.F64(s.I)
+				e.I64(int64(s.Err))
+			}
+		}
+	}
+	ents := l.cache.exportLRU()
+	e.U64(uint64(len(ents)))
+	for _, en := range ents {
+		e.Int(en.tpn)
+		e.Int(en.size)
+	}
+}
+
+// LoadState restores a snapshot into a freshly constructed LeaFTL of the
+// same configuration.
+func (l *LeaFTL) LoadState(d *persist.Decoder) error {
+	if err := l.LoadBaseState(d); err != nil {
+		return err
+	}
+	l.buffer = make(map[int64]struct{})
+	for i, n := uint64(0), d.U64(); i < n && d.Err() == nil; i++ {
+		l.buffer[d.I64()] = struct{}{}
+	}
+	l.models = make(map[int]*learned.LSMT)
+	for i, n := uint64(0), d.U64(); i < n && d.Err() == nil; i++ {
+		tpn := d.Int()
+		levels := make([][]learned.Segment, d.U64())
+		for li := range levels {
+			lv := make([]learned.Segment, d.U64())
+			for si := range lv {
+				lv[si] = learned.Segment{
+					S:   d.I64(),
+					L:   int32(d.I64()),
+					K:   d.F64(),
+					I:   d.F64(),
+					Err: int32(d.I64()),
+				}
+			}
+			levels[li] = lv
+		}
+		lt := learned.NewLSMT()
+		lt.ImportLevels(levels)
+		l.models[tpn] = lt
+	}
+	l.cache = newModelCache(l.Cfg.CMTEntries() * 8)
+	for i, n := uint64(0), d.U64(); i < n && d.Err() == nil; i++ {
+		tpn := d.Int()
+		size := d.Int()
+		l.cache.Insert(tpn, size)
+	}
+	return d.Err()
+}
+
+// RecoverFromCrash implements ftl.CrashRecoverer: the base OOB scan
+// rebuilds L2P + GTD. The DRAM data buffer is lost — buffered writes that
+// never reached flash are gone, exactly as on real hardware — and the
+// model cache restarts cold. The trained segments themselves survive:
+// LeaFTL persists them inside translation pages at flush time, so they are
+// flash-resident state located by the rebuilt GTD (a stale segment only
+// costs the misprediction path, never a wrong result — reads check the
+// shadow map before trusting a prediction).
+func (l *LeaFTL) RecoverFromCrash(now nand.Time) nand.Time {
+	t := l.Base.RecoverFromCrash(now)
+	l.buffer = make(map[int64]struct{})
+	l.cache = newModelCache(l.Cfg.CMTEntries() * 8)
+	return t
 }
 
 // DataRelocated implements ftl.RelocHooks.

@@ -133,6 +133,20 @@ func (c *modelCache) Resize(tpn, size int) {
 	}
 }
 
+// mcState is one (tpn, size) pair of the cache's export (device snapshots).
+type mcState struct{ tpn, size int }
+
+// exportLRU returns the cached models in LRU→MRU order. Re-Inserting them
+// in that order into a fresh cache of the same budget reproduces contents,
+// charged bytes and recency exactly.
+func (c *modelCache) exportLRU() []mcState {
+	out := make([]mcState, 0, c.size)
+	for n := c.tail; n != nilNode; n = c.nodes[n].prev {
+		out = append(out, mcState{tpn: c.nodes[n].tpn, size: c.nodes[n].size})
+	}
+	return out
+}
+
 // Len returns the number of cached models.
 func (c *modelCache) Len() int { return c.size }
 

@@ -1,6 +1,7 @@
 package learned
 
 import (
+	"fmt"
 	"math"
 	"sort"
 )
@@ -229,6 +230,40 @@ func (m *InPlaceModel) pruneDead(pieces []Piece, s, e int64) []Piece {
 		}
 	}
 	return out
+}
+
+// ModelState is the portable form of an in-place model for device
+// snapshots: the base VPPN (unset sentinel included), the live pieces and
+// the raw bitmap words.
+type ModelState struct {
+	Base   int64
+	Pieces []Piece
+	Bits   []uint64
+}
+
+// ExportState copies the model's mutable state.
+func (m *InPlaceModel) ExportState() ModelState {
+	return ModelState{
+		Base:   m.base,
+		Pieces: append([]Piece(nil), m.pieces...),
+		Bits:   append([]uint64(nil), m.bm.words...),
+	}
+}
+
+// ImportState replaces the model's mutable state with a previously exported
+// one. The model must have been constructed with the same span and piece
+// capacity.
+func (m *InPlaceModel) ImportState(s ModelState) error {
+	if len(s.Bits) != len(m.bm.words) {
+		return fmt.Errorf("learned: import of %d bitmap words into %d-word model", len(s.Bits), len(m.bm.words))
+	}
+	if len(s.Pieces) > m.maxPieces {
+		return fmt.Errorf("learned: import of %d pieces into %d-piece model", len(s.Pieces), m.maxPieces)
+	}
+	m.base = s.Base
+	m.pieces = append(m.pieces[:0], s.Pieces...)
+	copy(m.bm.words, s.Bits)
+	return nil
 }
 
 // SizeBytes returns the DRAM footprint the paper charges per model: the

@@ -71,6 +71,28 @@ func (t *LSMT) Lookup(lpn int64) (Segment, bool) {
 	return Segment{}, false
 }
 
+// ExportLevels returns a deep copy of the table's levels, newest first
+// (device snapshots).
+func (t *LSMT) ExportLevels() [][]Segment {
+	out := make([][]Segment, len(t.levels))
+	for i, lv := range t.levels {
+		out[i] = append([]Segment(nil), lv...)
+	}
+	return out
+}
+
+// ImportLevels replaces the table's contents with the given levels,
+// verbatim. Level structure matters — lookups scan top-down — so the
+// import preserves it instead of re-inserting segment by segment.
+func (t *LSMT) ImportLevels(levels [][]Segment) {
+	t.levels = make([][]Segment, len(levels))
+	t.nseg = 0
+	for i, lv := range levels {
+		t.levels[i] = append([]Segment(nil), lv...)
+		t.nseg += len(lv)
+	}
+}
+
 // CompactShadowed drops lower-level segments whose whole key range is
 // covered by segments in upper levels (they can never win a lookup). This is
 // the space-reclamation role of LeaFTL's compaction; returns the number of

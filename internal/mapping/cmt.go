@@ -236,6 +236,17 @@ func (c *CMT) DirtyInRange(lo, hi int64) []Entry {
 	return out
 }
 
+// Export returns the cached entries in LRU→MRU order. Re-Inserting them in
+// that order into a fresh CMT of the same capacity reproduces the cache —
+// contents, dirty flags and recency — exactly (device snapshots).
+func (c *CMT) Export() []Entry {
+	out := make([]Entry, 0, c.size)
+	for n := c.tail; n != nilNode; n = c.nodes[n].prev {
+		out = append(out, c.nodes[n].entry)
+	}
+	return out
+}
+
 // UpdatePPN rewrites the PPN of a cached entry without recency or dirty
 // changes (GC relocation fix-up). Returns false if lpn is not cached.
 func (c *CMT) UpdatePPN(lpn int64, ppn nand.PPN) bool {

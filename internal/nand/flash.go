@@ -65,6 +65,10 @@ type Flash struct {
 	chipBusy []Time // per parallel unit, next idle time
 
 	counters OpCounters
+	// lifetime accumulates counters folded in by ResetCounters, so the
+	// total operation count since device construction survives the
+	// per-phase resets experiments perform.
+	lifetime OpCounters
 }
 
 // NewFlash builds an erased flash array for geometry g with timing t.
@@ -106,8 +110,22 @@ func (f *Flash) Timing() Timing { return f.timing }
 func (f *Flash) Counters() OpCounters { return f.counters }
 
 // ResetCounters zeroes the operation counters (used between warm-up and
-// measurement phases of an experiment).
-func (f *Flash) ResetCounters() { f.counters = OpCounters{} }
+// measurement phases of an experiment), folding them into the lifetime
+// totals first.
+func (f *Flash) ResetCounters() {
+	f.lifetime.accumulate(f.counters)
+	f.counters = OpCounters{}
+}
+
+// LifetimeCounters returns the cumulative operation counters since device
+// construction, unaffected by ResetCounters. The warm-checkpoint machinery
+// uses them to price how many simulated flash operations a restored
+// checkpoint saves.
+func (f *Flash) LifetimeCounters() OpCounters {
+	t := f.lifetime
+	t.accumulate(f.counters)
+	return t
+}
 
 // schedule serializes an operation of duration d on chip, not starting
 // before `after`, and returns its completion time.
@@ -180,6 +198,10 @@ func (f *Flash) Erase(blockID int, after Time) (Time, error) {
 	}
 	b.writePtr = 0
 	b.erases++
+	// The block's program history died with its contents: age-aware GC
+	// policies must not compute candidate age from a program of the
+	// block's previous life.
+	b.lastMod = 0
 	f.counters.Erases++
 	chip := f.codec.Chip(base)
 	return f.schedule(chip, after, f.timing.EraseLatency), nil
@@ -249,6 +271,83 @@ func (f *Flash) BlockFreePages(blockID int) int {
 
 // ChipBusyUntil returns the next idle time of the given parallel unit.
 func (f *Flash) ChipBusyUntil(chip int) Time { return f.chipBusy[chip] }
+
+// FlashState is the portable snapshot of a flash array's mutable state.
+// Per-block valid counts and write pointers are not carried: NAND's
+// in-order programming makes a block's programmed pages a prefix, so both
+// derive from the page states.
+type FlashState struct {
+	States   []PageState
+	OOBs     []OOB
+	Erases   []int64
+	LastMod  []Time
+	ChipBusy []Time
+	Counters OpCounters
+	// Lifetime is the cumulative operation count including Counters.
+	Lifetime OpCounters
+}
+
+// ExportState copies the array's mutable state into a FlashState.
+func (f *Flash) ExportState() FlashState {
+	s := FlashState{
+		States:   append([]PageState(nil), f.state...),
+		OOBs:     append([]OOB(nil), f.oob...),
+		Erases:   make([]int64, len(f.blocks)),
+		LastMod:  make([]Time, len(f.blocks)),
+		ChipBusy: append([]Time(nil), f.chipBusy...),
+		Counters: f.counters,
+		Lifetime: f.LifetimeCounters(),
+	}
+	for i := range f.blocks {
+		s.Erases[i] = f.blocks[i].erases
+		s.LastMod[i] = f.blocks[i].lastMod
+	}
+	return s
+}
+
+// ImportState replaces the array's mutable state with a previously exported
+// snapshot of the same geometry, recomputing per-block valid counts and
+// write pointers and validating the in-order-programming prefix invariant.
+func (f *Flash) ImportState(s FlashState) error {
+	switch {
+	case len(s.States) != len(f.state), len(s.OOBs) != len(f.oob):
+		return fmt.Errorf("nand: import of %d pages into %d-page device", len(s.States), len(f.state))
+	case len(s.Erases) != len(f.blocks), len(s.LastMod) != len(f.blocks):
+		return fmt.Errorf("nand: import of %d blocks into %d-block device", len(s.Erases), len(f.blocks))
+	case len(s.ChipBusy) != len(f.chipBusy):
+		return fmt.Errorf("nand: import of %d chips into %d-chip device", len(s.ChipBusy), len(f.chipBusy))
+	}
+	ppb := f.geo.PagesPerBlock
+	for b := range f.blocks {
+		wp, valid := 0, 0
+		for i := 0; i < ppb; i++ {
+			st := s.States[b*ppb+i]
+			if st == PageFree {
+				continue
+			}
+			if i != wp {
+				return fmt.Errorf("nand: import of block %d violates in-order programming (page %d programmed above free page %d)", b, i, wp)
+			}
+			wp++
+			if st == PageValid {
+				valid++
+			}
+		}
+		f.blocks[b] = blockMeta{
+			valid:    valid,
+			writePtr: wp,
+			erases:   s.Erases[b],
+			lastMod:  s.LastMod[b],
+		}
+	}
+	copy(f.state, s.States)
+	copy(f.oob, s.OOBs)
+	copy(f.chipBusy, s.ChipBusy)
+	f.counters = s.Counters
+	f.lifetime = s.Lifetime
+	f.lifetime.subtract(s.Counters)
+	return nil
+}
 
 // MaxChipBusy returns the latest busy-until across all chips; useful as a
 // makespan estimate after a run.

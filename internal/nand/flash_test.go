@@ -194,3 +194,91 @@ func TestOpKindString(t *testing.T) {
 		}
 	}
 }
+
+// TestEraseClearsBlockLastMod is the regression test for the stale-age
+// bug: Erase used to leave blockMeta.lastMod from the block's previous
+// life, so age-aware GC policies could compute a freshly reopened block's
+// age from a program that no longer exists.
+func TestEraseClearsBlockLastMod(t *testing.T) {
+	g := Geometry{Channels: 1, Ways: 1, Planes: 1, BlocksPerUnit: 2, PagesPerBlock: 4, PageSize: 4096}
+	f := MustNewFlash(g, DefaultTiming())
+	var now Time
+	for i := 0; i < g.PagesPerBlock; i++ {
+		done, err := f.Program(PPN(i), OOB{Key: int64(i)}, now, OpHostData)
+		if err != nil {
+			t.Fatal(err)
+		}
+		now = done
+	}
+	if f.BlockLastMod(0) == 0 {
+		t.Fatal("programs did not stamp lastMod")
+	}
+	for i := 0; i < g.PagesPerBlock; i++ {
+		if err := f.Invalidate(PPN(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := f.Erase(0, now); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.BlockLastMod(0); got != 0 {
+		t.Fatalf("erase left lastMod = %d from the block's previous life, want 0", got)
+	}
+}
+
+// TestFlashExportImportRoundTrip: ImportState must reproduce an exported
+// array exactly — page states, OOB, write pointers, valid counts, erase
+// counts, recency, chip schedules and both counter sets.
+func TestFlashExportImportRoundTrip(t *testing.T) {
+	g := Geometry{Channels: 2, Ways: 1, Planes: 1, BlocksPerUnit: 2, PagesPerBlock: 4, PageSize: 4096}
+	f := MustNewFlash(g, DefaultTiming())
+	var now Time
+	for i := 0; i < 6; i++ {
+		p := PPN(i)
+		if i >= 4 {
+			p = PPN(g.PagesPerBlock + (i - 4)) // second block of chip 0
+		}
+		done, err := f.Program(p, OOB{Key: int64(100 + i), Trans: i%2 == 0}, now, OpHostData)
+		if err != nil {
+			t.Fatal(err)
+		}
+		now = done
+	}
+	if err := f.Invalidate(1); err != nil {
+		t.Fatal(err)
+	}
+	f.Read(0, now, OpTranslation)
+	f.ResetCounters() // lifetime accumulates, current zeroes
+	f.Read(2, now, OpGC)
+
+	g2 := MustNewFlash(g, DefaultTiming())
+	if err := g2.ImportState(f.ExportState()); err != nil {
+		t.Fatal(err)
+	}
+	for p := PPN(0); p < PPN(g.TotalPages()); p++ {
+		if g2.State(p) != f.State(p) || g2.PageOOB(p) != f.PageOOB(p) {
+			t.Fatalf("page %d diverged after import", p)
+		}
+	}
+	for b := 0; b < g.TotalBlocks(); b++ {
+		if g2.BlockValid(b) != f.BlockValid(b) || g2.BlockWritePtr(b) != f.BlockWritePtr(b) ||
+			g2.BlockErases(b) != f.BlockErases(b) || g2.BlockLastMod(b) != f.BlockLastMod(b) {
+			t.Fatalf("block %d metadata diverged after import", b)
+		}
+	}
+	for c := 0; c < g.Chips(); c++ {
+		if g2.ChipBusyUntil(c) != f.ChipBusyUntil(c) {
+			t.Fatalf("chip %d schedule diverged after import", c)
+		}
+	}
+	if g2.Counters() != f.Counters() || g2.LifetimeCounters() != f.LifetimeCounters() {
+		t.Fatal("counters diverged after import")
+	}
+
+	// A hole in the programmed prefix must be rejected.
+	bad := f.ExportState()
+	bad.States[0] = PageFree // page 1 of block 0 remains programmed
+	if err := MustNewFlash(g, DefaultTiming()).ImportState(bad); err == nil {
+		t.Fatal("import accepted a programmed page above a free one")
+	}
+}

@@ -63,6 +63,8 @@ const (
 	OpTranslation
 	// OpGC is a read/program that relocates data during garbage collection.
 	OpGC
+	// OpMount is a read issued by the mount-time OOB recovery scan.
+	OpMount
 	// opKinds is the number of kinds; keep last.
 	opKinds
 )
@@ -76,6 +78,8 @@ func (k OpKind) String() string {
 		return "translation"
 	case OpGC:
 		return "gc"
+	case OpMount:
+		return "mount"
 	default:
 		return "unknown"
 	}
@@ -86,6 +90,24 @@ type OpCounters struct {
 	Reads    [opKinds]int64
 	Programs [opKinds]int64
 	Erases   int64
+}
+
+// accumulate adds o's counts into c.
+func (c *OpCounters) accumulate(o OpCounters) {
+	for k := range c.Reads {
+		c.Reads[k] += o.Reads[k]
+		c.Programs[k] += o.Programs[k]
+	}
+	c.Erases += o.Erases
+}
+
+// subtract removes o's counts from c.
+func (c *OpCounters) subtract(o OpCounters) {
+	for k := range c.Reads {
+		c.Reads[k] -= o.Reads[k]
+		c.Programs[k] -= o.Programs[k]
+	}
+	c.Erases -= o.Erases
 }
 
 // TotalReads returns reads across all kinds.

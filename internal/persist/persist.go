@@ -1,0 +1,261 @@
+// Package persist is the device-persistence subsystem: a versioned,
+// deterministic binary snapshot of the full device + FTL state
+// (Snapshot/Restore over a per-scheme SaveState/LoadState contract), the
+// mount-time out-of-band crash-recovery scan that rebuilds translation
+// state from the flash array alone (ScanOOB), and a warm-checkpoint cache
+// (Cache) that lets experiment sweeps restore a warmed device instead of
+// re-paying the paper's ~6×-full-device-write warm-up (§IV-B).
+//
+// The restore path is bit-for-bit equivalent to never having snapshotted:
+// a snapshot captures every piece of state that can influence future
+// scheduling or translation decisions — flash page states and OOB, block
+// metadata including erase counts and program recency, per-chip busy
+// times, operation counters, the L2P shadow map, the GTD, scheme caches in
+// exact recency order, learned models, allocator stacks in exact pop order
+// and GC-controller counters. Metrics sinks (stats.Collector) are not
+// captured: experiments reset them at every measurement boundary, so a
+// freshly reset collector is what both the snapshotted and the
+// uninterrupted path observe.
+package persist
+
+import (
+	"fmt"
+	"hash/crc32"
+
+	"learnedftl/internal/mapping"
+	"learnedftl/internal/nand"
+)
+
+// Version is the snapshot format version; bump on any encoding change so
+// stale checkpoint files fail Restore and fall back to a cold warm-up.
+const Version = 1
+
+// magic leads every snapshot.
+const magic = "LFTLSNAP"
+
+// Device is the persistence contract a scheme implements: the scheme name
+// (written to the header and verified on restore) and the two state hooks.
+// All five FTLs of this repo satisfy it.
+type Device interface {
+	Name() string
+	// SaveState appends the device's complete mutable state.
+	SaveState(e *Encoder)
+	// LoadState replaces the device's mutable state with a decoded
+	// snapshot. The device must be freshly constructed with the same
+	// configuration the snapshot was taken under.
+	LoadState(d *Decoder) error
+}
+
+// Snapshot serializes dev into a self-verifying byte stream. fingerprint
+// is an opaque caller-chosen identity string (typically scheme + full
+// config + warm-up spec) that Restore checks, so a snapshot can never be
+// restored into a differently configured device.
+func Snapshot(dev Device, fingerprint string) []byte {
+	e := NewEncoder()
+	e.Str(magic)
+	e.U64(Version)
+	e.Str(dev.Name())
+	e.Str(fingerprint)
+	dev.SaveState(e)
+	buf := e.Data()
+	var tail [4]byte
+	sum := crc32.ChecksumIEEE(buf)
+	tail[0] = byte(sum)
+	tail[1] = byte(sum >> 8)
+	tail[2] = byte(sum >> 16)
+	tail[3] = byte(sum >> 24)
+	return append(buf, tail[:]...)
+}
+
+// Restore loads a Snapshot into dev, which must be freshly constructed
+// under the same configuration. It verifies the checksum, format version,
+// scheme name and fingerprint before touching the device, and requires the
+// stream to be fully consumed.
+func Restore(dev Device, fingerprint string, data []byte) error {
+	if len(data) < 4 {
+		return fmt.Errorf("persist: snapshot too short (%d bytes)", len(data))
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	sum := crc32.ChecksumIEEE(body)
+	got := uint32(tail[0]) | uint32(tail[1])<<8 | uint32(tail[2])<<16 | uint32(tail[3])<<24
+	if sum != got {
+		return fmt.Errorf("persist: snapshot checksum mismatch")
+	}
+	d := NewDecoder(body)
+	if m := d.Str(); m != magic {
+		return fmt.Errorf("persist: bad snapshot magic %q", m)
+	}
+	if v := d.U64(); v != Version {
+		return fmt.Errorf("persist: snapshot version %d, want %d", v, Version)
+	}
+	if n := d.Str(); n != dev.Name() {
+		return fmt.Errorf("persist: snapshot of scheme %q restored into %q", n, dev.Name())
+	}
+	if fp := d.Str(); fp != fingerprint {
+		return fmt.Errorf("persist: snapshot fingerprint mismatch")
+	}
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if err := dev.LoadState(d); err != nil {
+		return err
+	}
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if d.Remaining() != 0 {
+		return fmt.Errorf("persist: %d trailing bytes after snapshot", d.Remaining())
+	}
+	return nil
+}
+
+// SaveFlash appends the flash array's exported state.
+func SaveFlash(e *Encoder, fl *nand.Flash) {
+	s := fl.ExportState()
+	states := make([]byte, len(s.States))
+	for i, st := range s.States {
+		states[i] = byte(st)
+	}
+	e.Blob(states)
+	e.U64(uint64(len(s.OOBs)))
+	for _, o := range s.OOBs {
+		e.I64(o.Key)
+		e.Bool(o.Trans)
+	}
+	e.U64(uint64(len(s.Erases)))
+	for i := range s.Erases {
+		e.I64(s.Erases[i])
+		e.I64(int64(s.LastMod[i]))
+	}
+	e.U64(uint64(len(s.ChipBusy)))
+	for _, t := range s.ChipBusy {
+		e.I64(int64(t))
+	}
+	saveCounters(e, s.Counters)
+	saveCounters(e, s.Lifetime)
+}
+
+// LoadFlash restores a SaveFlash section into fl (same geometry).
+func LoadFlash(d *Decoder, fl *nand.Flash) error {
+	var s nand.FlashState
+	raw := d.Blob()
+	s.States = make([]nand.PageState, len(raw))
+	for i, b := range raw {
+		s.States[i] = nand.PageState(b)
+	}
+	s.OOBs = make([]nand.OOB, d.U64())
+	for i := range s.OOBs {
+		s.OOBs[i].Key = d.I64()
+		s.OOBs[i].Trans = d.Bool()
+	}
+	nb := d.U64()
+	s.Erases = make([]int64, nb)
+	s.LastMod = make([]nand.Time, nb)
+	for i := range s.Erases {
+		s.Erases[i] = d.I64()
+		s.LastMod[i] = nand.Time(d.I64())
+	}
+	s.ChipBusy = make([]nand.Time, d.U64())
+	for i := range s.ChipBusy {
+		s.ChipBusy[i] = nand.Time(d.I64())
+	}
+	s.Counters = loadCounters(d)
+	s.Lifetime = loadCounters(d)
+	if err := d.Err(); err != nil {
+		return err
+	}
+	return fl.ImportState(s)
+}
+
+func saveCounters(e *Encoder, c nand.OpCounters) {
+	e.U64(uint64(len(c.Reads)))
+	for k := range c.Reads {
+		e.I64(c.Reads[k])
+		e.I64(c.Programs[k])
+	}
+	e.I64(c.Erases)
+}
+
+func loadCounters(d *Decoder) nand.OpCounters {
+	var c nand.OpCounters
+	n := int(d.U64())
+	if n != len(c.Reads) {
+		d.err1("op-kind count")
+		return c
+	}
+	for k := 0; k < n; k++ {
+		c.Reads[k] = d.I64()
+		c.Programs[k] = d.I64()
+	}
+	c.Erases = d.I64()
+	return c
+}
+
+// SavePPNs appends a PPN slice (an L2P map).
+func SavePPNs(e *Encoder, ppns []nand.PPN) {
+	e.U64(uint64(len(ppns)))
+	for _, p := range ppns {
+		e.I64(int64(p))
+	}
+}
+
+// LoadPPNsInto restores a SavePPNs section into dst, whose length must
+// match the saved one.
+func LoadPPNsInto(d *Decoder, dst []nand.PPN) error {
+	n := d.U64()
+	if d.Err() == nil && n != uint64(len(dst)) {
+		return fmt.Errorf("persist: L2P length %d, want %d", n, len(dst))
+	}
+	for i := range dst {
+		dst[i] = nand.PPN(d.I64())
+	}
+	return d.Err()
+}
+
+// SaveGTD appends the global translation directory.
+func SaveGTD(e *Encoder, g *mapping.GTD) {
+	e.U64(uint64(g.NumTPNs()))
+	for t := 0; t < g.NumTPNs(); t++ {
+		e.I64(int64(g.Lookup(t)))
+	}
+}
+
+// LoadGTD restores a SaveGTD section into g (same TPN count).
+func LoadGTD(d *Decoder, g *mapping.GTD) error {
+	n := d.U64()
+	if d.Err() == nil && n != uint64(g.NumTPNs()) {
+		return fmt.Errorf("persist: GTD of %d TPNs, want %d", n, g.NumTPNs())
+	}
+	for t := 0; t < g.NumTPNs(); t++ {
+		g.Update(t, nand.PPN(d.I64()))
+	}
+	return d.Err()
+}
+
+// SaveCMT appends the cached mapping table in LRU→MRU order.
+func SaveCMT(e *Encoder, c *mapping.CMT) {
+	ents := c.Export()
+	e.U64(uint64(len(ents)))
+	for _, en := range ents {
+		e.I64(en.LPN)
+		e.I64(int64(en.PPN))
+		e.Bool(en.Dirty)
+	}
+}
+
+// LoadCMT restores a SaveCMT section into a freshly constructed CMT of the
+// capacity the snapshot was taken under: inserting the saved entries in
+// LRU→MRU order reproduces contents, dirty flags and recency exactly.
+func LoadCMT(d *Decoder, c *mapping.CMT) error {
+	n := d.U64()
+	if d.Err() == nil && c.Cap() > 0 && n > uint64(c.Cap()) {
+		return fmt.Errorf("persist: CMT of %d entries into capacity %d", n, c.Cap())
+	}
+	for i := uint64(0); i < n; i++ {
+		lpn := d.I64()
+		ppn := nand.PPN(d.I64())
+		dirty := d.Bool()
+		c.Insert(lpn, ppn, dirty)
+	}
+	return d.Err()
+}

@@ -1,0 +1,206 @@
+package persist
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"learnedftl/internal/mapping"
+	"learnedftl/internal/nand"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	e := NewEncoder()
+	e.U64(0)
+	e.U64(1 << 62)
+	e.I64(-1)
+	e.I64(math.MinInt64)
+	e.Int(42)
+	e.Bool(true)
+	e.Bool(false)
+	e.F64(-0.0)
+	e.F64(math.Inf(1))
+	e.F64(1.0 / 3.0)
+	e.Blob([]byte{1, 2, 3})
+	e.Str("hello|world")
+	e.Ints([]int{-5, 0, 7})
+
+	d := NewDecoder(e.Data())
+	if d.U64() != 0 || d.U64() != 1<<62 || d.I64() != -1 || d.I64() != math.MinInt64 || d.Int() != 42 {
+		t.Fatal("integer round-trip failed")
+	}
+	if !d.Bool() || d.Bool() {
+		t.Fatal("bool round-trip failed")
+	}
+	if math.Float64bits(d.F64()) != math.Float64bits(-0.0) {
+		t.Fatal("negative zero bits lost")
+	}
+	if !math.IsInf(d.F64(), 1) || d.F64() != 1.0/3.0 {
+		t.Fatal("float round-trip failed")
+	}
+	if !bytes.Equal(d.Blob(), []byte{1, 2, 3}) || d.Str() != "hello|world" {
+		t.Fatal("blob/string round-trip failed")
+	}
+	got := d.Ints()
+	if len(got) != 3 || got[0] != -5 || got[1] != 0 || got[2] != 7 {
+		t.Fatalf("ints round-trip = %v", got)
+	}
+	if d.Err() != nil || d.Remaining() != 0 {
+		t.Fatalf("err=%v remaining=%d", d.Err(), d.Remaining())
+	}
+}
+
+func TestDecoderStickyError(t *testing.T) {
+	d := NewDecoder([]byte{0x01})
+	_ = d.U64()
+	_ = d.F64() // truncated
+	if d.Err() == nil {
+		t.Fatal("truncated read did not latch an error")
+	}
+	if v := d.U64(); v != 0 {
+		t.Fatalf("read after error returned %d, want 0", v)
+	}
+}
+
+// fakeDevice exercises the Snapshot/Restore container without an FTL.
+type fakeDevice struct {
+	name  string
+	value int64
+}
+
+func (f *fakeDevice) Name() string         { return f.name }
+func (f *fakeDevice) SaveState(e *Encoder) { e.I64(f.value) }
+func (f *fakeDevice) LoadState(d *Decoder) error {
+	f.value = d.I64()
+	return d.Err()
+}
+
+func TestSnapshotContainerVerification(t *testing.T) {
+	src := &fakeDevice{name: "dev", value: 1234}
+	snap := Snapshot(src, "fp-1")
+
+	dst := &fakeDevice{name: "dev"}
+	if err := Restore(dst, "fp-1", snap); err != nil {
+		t.Fatal(err)
+	}
+	if dst.value != 1234 {
+		t.Fatalf("restored value = %d", dst.value)
+	}
+	if err := Restore(&fakeDevice{name: "other"}, "fp-1", snap); err == nil {
+		t.Fatal("wrong scheme name accepted")
+	}
+	if err := Restore(&fakeDevice{name: "dev"}, "fp-2", snap); err == nil {
+		t.Fatal("wrong fingerprint accepted")
+	}
+	bad := append([]byte(nil), snap...)
+	bad[len(bad)-1] ^= 0xff
+	if err := Restore(&fakeDevice{name: "dev"}, "fp-1", bad); err == nil {
+		t.Fatal("corrupt checksum accepted")
+	}
+	if err := Restore(&fakeDevice{name: "dev"}, "fp-1", snap[:2]); err == nil {
+		t.Fatal("truncated snapshot accepted")
+	}
+}
+
+func TestCMTSectionPreservesRecencyAndDirty(t *testing.T) {
+	src := mapping.NewCMT(4)
+	src.Insert(10, 100, false)
+	src.Insert(20, 200, true)
+	src.Insert(30, 300, false)
+	src.Lookup(10) // promote 10 to MRU: recency order 20, 30, 10
+
+	e := NewEncoder()
+	SaveCMT(e, src)
+	dst := mapping.NewCMT(4)
+	if err := LoadCMT(NewDecoder(e.Data()), dst); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Len() != 3 || dst.DirtyLen() != 1 {
+		t.Fatalf("len=%d dirty=%d", dst.Len(), dst.DirtyLen())
+	}
+	want := src.Export()
+	got := dst.Export()
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("recency order diverged at %d: %+v vs %+v", i, want[i], got[i])
+		}
+	}
+	// Capacity mismatch is rejected.
+	if err := LoadCMT(NewDecoder(e.Data()), mapping.NewCMT(2)); err == nil {
+		t.Fatal("over-capacity CMT section accepted")
+	}
+}
+
+func TestScanOOBRebuildsMappingsAndChargesReads(t *testing.T) {
+	g := nand.Geometry{Channels: 2, Ways: 1, Planes: 1, BlocksPerUnit: 2, PagesPerBlock: 4, PageSize: 4096}
+	fl := nand.MustNewFlash(g, nand.DefaultTiming())
+	var now nand.Time
+	// Chip 0, block 0: two data pages (one later invalidated) + one
+	// translation page. Chip 1 stays empty.
+	mustProgram := func(p nand.PPN, oob nand.OOB) {
+		done, err := fl.Program(p, oob, now, nand.OpHostData)
+		if err != nil {
+			t.Fatal(err)
+		}
+		now = done
+	}
+	mustProgram(0, nand.OOB{Key: 7})
+	mustProgram(1, nand.OOB{Key: 9})
+	mustProgram(2, nand.OOB{Key: 3, Trans: true})
+	if err := fl.Invalidate(1); err != nil {
+		t.Fatal(err)
+	}
+	start := fl.MaxChipBusy()
+	res := ScanOOB(fl, start)
+	if res.Scanned != 3 {
+		t.Fatalf("scanned %d pages, want 3 (stale pages are read too)", res.Scanned)
+	}
+	if len(res.Data) != 1 || res.Data[0] != (ScanEntry{Key: 7, PPN: 0}) {
+		t.Fatalf("data mappings = %+v", res.Data)
+	}
+	if len(res.Trans) != 1 || res.Trans[0] != (ScanEntry{Key: 3, PPN: 2}) {
+		t.Fatalf("trans mappings = %+v", res.Trans)
+	}
+	wantDone := start + 3*fl.Timing().ReadLatency
+	if res.Done != wantDone {
+		t.Fatalf("mount done = %d, want %d (3 serialized reads on one chip)", res.Done, wantDone)
+	}
+	if got := fl.Counters().Reads[nand.OpMount]; got != 3 {
+		t.Fatalf("mount reads counted = %d, want 3", got)
+	}
+}
+
+func TestCacheLoadStoreStats(t *testing.T) {
+	c, err := NewCache(filepath.Join(t.TempDir(), "ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Load("k"); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.Store("k", []byte("payload"))
+	data, ok := c.Load("k")
+	if !ok || string(data) != "payload" {
+		t.Fatalf("load = %q, %v", data, ok)
+	}
+	// A loaded entry is not a hit until the caller confirms the restore.
+	if st := c.Stats(); st.Hits != 0 {
+		t.Fatalf("hit counted before restore confirmation: %+v", st)
+	}
+	c.NoteRestored(500)
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Stores != 1 || st.ProgramsSaved != 500 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// A loaded-but-unusable entry (stale version, corruption) is a miss.
+	c.NoteUnusable()
+	if st := c.Stats(); st.Misses != 2 || st.Hits != 1 {
+		t.Fatalf("unusable entry not counted as miss: %+v", st)
+	}
+	// Distinct keys map to distinct files even with hostile characters.
+	c.Store("a/b|c d", []byte("x"))
+	if data, ok := c.Load("a/b|c d"); !ok || string(data) != "x" {
+		t.Fatal("hostile key round-trip failed")
+	}
+}

@@ -1,0 +1,69 @@
+package persist
+
+import "learnedftl/internal/nand"
+
+// ScanEntry is one reverse mapping recovered from a page's out-of-band
+// area: Key is the LPN for data pages and the translation-page number for
+// translation pages (nand.OOB's contract).
+type ScanEntry struct {
+	Key int64
+	PPN nand.PPN
+}
+
+// ScanResult is the state an OOB crash-recovery scan rebuilds from the
+// flash array alone, plus the scan's cost.
+type ScanResult struct {
+	// Data are the valid data pages' reverse mappings (lpn → ppn). At most
+	// one valid page exists per LPN — overwrites invalidate the old page
+	// before the mapping moves — so the rebuilt L2P is unambiguous.
+	Data []ScanEntry
+	// Trans are the valid translation pages' reverse mappings (tpn → ppn);
+	// they rebuild the GTD the same way.
+	Trans []ScanEntry
+	// Scanned counts the programmed pages whose OOB the scan read,
+	// including stale (invalid) pages: a mount cannot know a page is stale
+	// without reading it.
+	Scanned int64
+	// Done is the virtual completion time of the slowest chip's scan — the
+	// mount latency when compared against the scan's start time.
+	Done nand.Time
+}
+
+// ScanOOB models the paper's Fig. 11 mount path: the reverse mapping kept
+// in every page's OOB is read back to rebuild the L2P (data pages, via
+// Key) and the GTD (translation pages, via Trans+Key) with no DRAM state
+// surviving. The scan walks each chip's blocks in id order reading the OOB
+// of every programmed page — the per-chip busy times serialize a chip's
+// reads while distinct chips scan in parallel, so mount latency is the
+// slowest chip's page count times the read latency. Scan reads are tagged
+// nand.OpMount in the flash counters.
+func ScanOOB(fl *nand.Flash, start nand.Time) ScanResult {
+	geo := fl.Geometry()
+	res := ScanResult{Done: start}
+	ppb := geo.PagesPerBlock
+	for blk := 0; blk < geo.TotalBlocks(); blk++ {
+		wp := fl.BlockWritePtr(blk)
+		if wp == 0 {
+			continue
+		}
+		base := nand.PPN(int64(blk) * int64(ppb))
+		for i := 0; i < wp; i++ {
+			p := base + nand.PPN(i)
+			done := fl.Read(p, start, nand.OpMount)
+			if done > res.Done {
+				res.Done = done
+			}
+			res.Scanned++
+			if fl.State(p) != nand.PageValid {
+				continue
+			}
+			oob := fl.PageOOB(p)
+			if oob.Trans {
+				res.Trans = append(res.Trans, ScanEntry{Key: oob.Key, PPN: p})
+			} else {
+				res.Data = append(res.Data, ScanEntry{Key: oob.Key, PPN: p})
+			}
+		}
+	}
+	return res
+}

@@ -141,3 +141,61 @@ func TestZeroPageRequestTreatedAsOne(t *testing.T) {
 		t.Fatalf("zero-page request handling: %+v", res)
 	}
 }
+
+// TestNonPositiveTrimDiscardsNothing is the regression test for the trim
+// normalization bug: issue() used to normalize Pages <= 0 to 1 for trims
+// too, so a malformed zero-page trim silently discarded one page's live
+// mapping. A non-positive trim must cover nothing.
+func TestNonPositiveTrimDiscardsNothing(t *testing.T) {
+	for _, pages := range []int{0, -3} {
+		f, err := ftl.NewIdeal(testConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		Run(f, []Generator{seqGen(0, 4, true)}, 0)
+		reqs := []Request{{Trim: true, LPN: 1, Pages: pages}}
+		i := 0
+		gen := GenFunc(func() (Request, bool) {
+			if i >= len(reqs) {
+				return Request{}, false
+			}
+			r := reqs[i]
+			i++
+			return r, true
+		})
+		res := Run(f, []Generator{gen}, 0)
+		if res.Requests != 1 {
+			t.Fatalf("pages=%d: issued %d requests, want 1", pages, res.Requests)
+		}
+		for lpn := int64(0); lpn < 4; lpn++ {
+			if !f.Mapped(lpn) {
+				t.Fatalf("pages=%d: trim of %d pages discarded lpn %d's live mapping", pages, pages, lpn)
+			}
+		}
+		if got := f.Collector().HostTrims; got != 0 {
+			t.Fatalf("pages=%d: malformed trim was counted (%d trims)", pages, got)
+		}
+	}
+
+	// A well-formed trim through the same path still discards its pages.
+	f, err := ftl.NewIdeal(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	Run(f, []Generator{seqGen(0, 4, true)}, 0)
+	i := 0
+	gen := GenFunc(func() (Request, bool) {
+		if i > 0 {
+			return Request{}, false
+		}
+		i++
+		return Request{Trim: true, LPN: 1, Pages: 2}, true
+	})
+	Run(f, []Generator{gen}, 0)
+	if f.Mapped(1) || f.Mapped(2) {
+		t.Fatal("well-formed trim left mappings live")
+	}
+	if f.Collector().HostTrims != 1 {
+		t.Fatal("well-formed trim not counted")
+	}
+}

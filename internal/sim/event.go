@@ -21,15 +21,24 @@ import (
 // TestIssueClampsBackwardsCompletion).
 func issue(f ftl.FTL, req Request, now nand.Time) (done nand.Time, pages int) {
 	pages = req.Pages
-	if pages <= 0 {
-		pages = 1
-	}
 	switch {
 	case req.Trim:
+		// A non-positive page count must NOT normalize to 1 here: a
+		// malformed zero-page trim would then silently discard one page's
+		// live mapping. Trims cover exactly what they say or nothing.
+		if pages <= 0 {
+			return now, 0
+		}
 		done = f.TrimPages(req.LPN, pages, now)
 	case req.Write:
+		if pages <= 0 {
+			pages = 1
+		}
 		done = f.WritePages(req.LPN, pages, now)
 	default:
+		if pages <= 0 {
+			pages = 1
+		}
 		done = f.ReadPages(req.LPN, pages, now)
 	}
 	if done < now {

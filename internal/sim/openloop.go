@@ -197,6 +197,16 @@ func RunOpenWith(f ftl.FTL, streams []Stream, opt OpenOptions) Result {
 			}
 		}
 		wait := now - st.arrival
+		if st.kind == ArrivalUnbounded {
+			// Unbounded streams have no arrival schedule — every request
+			// is nominally available at run start, so "wait" would only
+			// measure run progress, and a mixed unbounded+rated run would
+			// report a meaningless ~100% wait share for the unbounded
+			// tenant. They are excluded from queue-wait accounting: their
+			// latency is pure device service, as in the closed loop they
+			// schedule identically to.
+			wait = 0
+		}
 		done, pages := issue(f, st.req, now)
 		if st.req.Trim {
 			// TrimPages counted the trim inside the FTL; metadata ops

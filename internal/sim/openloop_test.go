@@ -261,3 +261,56 @@ func TestIssueClampsBackwardsCompletion(t *testing.T) {
 		t.Fatal("open-loop recorded a negative total latency")
 	}
 }
+
+// TestUnboundedStreamsExcludedFromWaitAccounting is the regression test
+// for the open-loop wait bug: ArrivalUnbounded streams stamp every arrival
+// at run start, so a mixed unbounded+rated run used to report a
+// meaningless ~100% wait share for the unbounded tenant. Unbounded streams
+// must contribute zero queue wait; rated streams keep theirs.
+func TestUnboundedStreamsExcludedFromWaitAccounting(t *testing.T) {
+	f, _ := ftl.NewIdeal(testConfig())
+	Run(f, []Generator{seqGen(0, 128, true)}, 0)
+	f.Collector().Reset()
+	streams := []Stream{
+		// A long unbounded stream: device back-pressure is its only pacer.
+		{Name: "batch", Gen: seqGen(0, 200, false), Kind: ArrivalUnbounded},
+		// A deeply overloaded rated stream: real queue wait accumulates.
+		{Name: "svc", Gen: seqGen(0, 100, false), Kind: ArrivalFixed, Rate: 1e7},
+	}
+	RunOpen(f, streams, 0)
+	buckets := f.Collector().Streams()
+	if len(buckets) != 2 {
+		t.Fatalf("got %d buckets, want 2", len(buckets))
+	}
+	batch, svc := buckets[0], buckets[1]
+	if batch.Name != "batch" || svc.Name != "svc" {
+		t.Fatalf("bucket order: %q, %q", batch.Name, svc.Name)
+	}
+	if w := batch.WaitShare(); w != 0 {
+		t.Fatalf("unbounded tenant wait share = %.3f, want 0", w)
+	}
+	if mw := batch.MeanWait(); mw != 0 {
+		t.Fatalf("unbounded tenant mean wait = %d, want 0", mw)
+	}
+	if batch.Mean() <= 0 {
+		t.Fatal("unbounded tenant lost its service latency")
+	}
+	if w := svc.WaitShare(); w <= 0.5 {
+		t.Fatalf("overloaded rated tenant wait share = %.3f, want > 0.5", w)
+	}
+}
+
+// TestRateZeroStreamDegradesToUnboundedAccounting: Rate <= 0 degrades any
+// arrival kind to unbounded, and the wait exclusion must follow the
+// degraded kind, not the declared one.
+func TestRateZeroStreamDegradesToUnboundedAccounting(t *testing.T) {
+	f, _ := ftl.NewIdeal(testConfig())
+	Run(f, []Generator{seqGen(0, 64, true)}, 0)
+	f.Collector().Reset()
+	RunOpen(f, []Stream{
+		{Name: "z", Gen: seqGen(0, 50, false), Kind: ArrivalPoisson, Rate: 0},
+	}, 0)
+	if w := f.Collector().QueueWaitShare(); w != 0 {
+		t.Fatalf("rate-0 stream accumulated wait share %.3f, want 0", w)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"learnedftl/internal/ftl"
 	"learnedftl/internal/mapping"
 	"learnedftl/internal/nand"
+	"learnedftl/internal/persist"
 	"learnedftl/internal/stats"
 )
 
@@ -148,6 +149,39 @@ func (t *TPFTL) drainEvictions(now nand.Time) nand.Time {
 		}
 	}
 	return now
+}
+
+// SaveState implements the persist.Device contract: the shared base state,
+// the CMT in exact recency order, and the request-length EMA that steers
+// the adaptive loading policy (its float bits round-trip exactly, so a
+// restored device prefetches identically).
+func (t *TPFTL) SaveState(e *persist.Encoder) {
+	t.SaveBaseState(e)
+	persist.SaveCMT(e, t.cmt)
+	e.F64(t.emaLen)
+}
+
+// LoadState restores a snapshot into a freshly constructed TPFTL of the
+// same configuration.
+func (t *TPFTL) LoadState(d *persist.Decoder) error {
+	if err := t.LoadBaseState(d); err != nil {
+		return err
+	}
+	t.cmt = mapping.NewCMT(t.Cfg.CMTEntries())
+	if err := persist.LoadCMT(d, t.cmt); err != nil {
+		return err
+	}
+	t.emaLen = d.F64()
+	return d.Err()
+}
+
+// RecoverFromCrash implements ftl.CrashRecoverer: the base OOB scan
+// rebuilds L2P + GTD; the CMT and the length EMA — DRAM — restart cold.
+func (t *TPFTL) RecoverFromCrash(now nand.Time) nand.Time {
+	tt := t.Base.RecoverFromCrash(now)
+	t.cmt = mapping.NewCMT(t.Cfg.CMTEntries())
+	t.emaLen = 1
+	return tt
 }
 
 // DataRelocated implements ftl.RelocHooks.

