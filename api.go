@@ -271,6 +271,18 @@ func RecoverFromCrash(f FTL) (RunResult, error) {
 	return RunResult{Start: start, End: done}, nil
 }
 
+// DeviceFootprint summarizes the resident bytes of the simulated device
+// model (packed page metadata, block metadata, chip schedules); see
+// nand.Footprint.
+type DeviceFootprint = nand.Footprint
+
+// FootprintOf computes a configuration's device-model footprint without
+// building the device. cmd/ftlbench records it in the BENCH JSON so the
+// perf trajectory captures footprint alongside wall clock.
+func FootprintOf(cfg Config) DeviceFootprint {
+	return nand.FootprintFor(cfg.Geometry)
+}
+
 // AutoWorkers returns the worker count that saturates the machine when set
 // as Budget.Workers (GOMAXPROCS). Experiment cells are hermetic and
 // deterministically seeded, so any worker count yields byte-identical

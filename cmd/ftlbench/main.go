@@ -15,7 +15,16 @@
 //	ftlbench -exp fig16 -gc-policy costage  # any experiment, other policy
 //	ftlbench -exp mountlat              # OOB crash-recovery latency vs fill
 //	ftlbench -exp all -checkpoint-dir .ckpt  # reuse warm-device checkpoints
+//	ftlbench -exp scale -scale-max-gib 8     # geometry ladder up to 8 GiB
+//	ftlbench -exp fig16 -cpuprofile cpu.out  # profile a run with pprof
 //	ftlbench -list                      # experiment ids + descriptions
+//
+// -cpuprofile and -memprofile write standard pprof profiles of the run
+// (inspect with `go tool pprof`), so perf work on the simulator is measured
+// rather than guessed. The scale experiment climbs a geometry ladder from
+// the tiny device toward the paper's 32 GiB one; -scale-min-gib and
+// -scale-max-gib window the ladder (a CI smoke cell pins one rung by
+// setting both to the same value).
 //
 // -parallel fans the independent (scheme × workload) cells of each
 // experiment across GOMAXPROCS worker goroutines. Every cell builds its own
@@ -40,6 +49,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -48,15 +59,23 @@ import (
 
 // benchFile is the JSON document -json emits.
 type benchFile struct {
-	Timestamp string                   `json:"timestamp"`
-	Device    string                   `json:"device"`
-	Scale     string                   `json:"scale"`
-	Workers   int                      `json:"workers"`
-	Budget    learnedftl.Budget        `json:"budget"`
-	Results   []learnedftl.BenchResult `json:"results"`
+	Timestamp string `json:"timestamp"`
+	Device    string `json:"device"`
+	Scale     string `json:"scale"`
+	Workers   int    `json:"workers"`
+	// Footprint records the configured device model's resident metadata
+	// bytes (total and per physical page), so the perf trajectory captures
+	// memory wins alongside wall clock.
+	Footprint learnedftl.DeviceFootprint `json:"footprint"`
+	Budget    learnedftl.Budget          `json:"budget"`
+	Results   []learnedftl.BenchResult   `json:"results"`
 }
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run is main's body with a proper exit code, so the pprof defers flush
+// even on failed runs.
+func run() int {
 	var (
 		exp      = flag.String("exp", "all", "experiment id (figN, table2, or 'all')")
 		scale    = flag.String("scale", "quick", "quick | paper | tiny")
@@ -72,15 +91,48 @@ func main() {
 		opRatio  = flag.Float64("op-ratio", 0, "gcsweep: single over-provisioning ratio (0 = ladder derived from the device config)")
 
 		checkpointDir = flag.String("checkpoint-dir", "", "directory of warm-device checkpoints: cells restore a cached warmed device instead of re-simulating warm-up (tables stay byte-identical); cold cells populate it")
+
+		scaleMinGiB = flag.Float64("scale-min-gib", 0, "scale experiment: smallest geometry rung to run, in GiB (0 = from the tiny device)")
+		scaleMaxGiB = flag.Float64("scale-max-gib", 0, "scale experiment: largest geometry rung to run, in GiB (0 = 2 GiB default; paper scale raises it to 32)")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile (after the run) to this file")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live-object stats before the heap dump
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 
 	// "unbounded" exists as an engine ArrivalKind but makes the open-loop
 	// experiments' offered-IOPS axis meaningless, so the CLI only accepts
 	// the rate-controlled processes.
 	if k, ok := learnedftl.ParseArrival(*arrival); !ok || k == learnedftl.ArrivalUnbounded {
 		fmt.Fprintf(os.Stderr, "unknown arrival process %q (want poisson or fixed)\n", *arrival)
-		os.Exit(2)
+		return 2
 	}
 
 	// Every listed policy must parse, and typos must fail loudly before any
@@ -93,7 +145,7 @@ func main() {
 			if !ok || name == "" { // empty elements are typos, not defaults
 				fmt.Fprintf(os.Stderr, "unknown GC policy %q (want one of %v)\n",
 					name, learnedftl.GCPolicies())
-				os.Exit(2)
+				return 2
 			}
 			policies = append(policies, k)
 		}
@@ -103,7 +155,7 @@ func main() {
 		for _, e := range learnedftl.ExperimentList() {
 			fmt.Printf("%-10s %s\n", e.ID, e.Desc)
 		}
-		return
+		return 0
 	}
 
 	var cfg learnedftl.Config
@@ -118,7 +170,7 @@ func main() {
 		budget = learnedftl.Budget{Requests: 4000, WarmExtra: 1, TraceScale: 0.003, Threads: 16}
 	default:
 		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
-		os.Exit(2)
+		return 2
 	}
 	if *parallel {
 		budget.Workers = learnedftl.AutoWorkers()
@@ -128,13 +180,21 @@ func main() {
 	budget.ReadTenantShare = *tenantShare
 	budget.GCPolicies = *gcPolicy
 	budget.OPRatio = *opRatio
+	// Only explicit flags override the scale ladder window: the unset 0
+	// must not clobber PaperBudget's 32 GiB cap.
+	if *scaleMinGiB > 0 {
+		budget.ScaleMinGiB = *scaleMinGiB
+	}
+	if *scaleMaxGiB > 0 {
+		budget.ScaleMaxGiB = *scaleMaxGiB
+	}
 	var checkpoints *learnedftl.CheckpointCache
 	if *checkpointDir != "" {
 		var err error
 		checkpoints, err = learnedftl.NewCheckpointCache(*checkpointDir)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			return 2
 		}
 		budget.Checkpoints = checkpoints
 	}
@@ -154,7 +214,7 @@ func main() {
 	} else {
 		if _, ok := exps[*exp]; !ok {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", *exp)
-			os.Exit(2)
+			return 2
 		}
 		ids = []string{*exp}
 	}
@@ -167,7 +227,7 @@ func main() {
 		res, err := learnedftl.RunExperiments([]string{id}, cfg, budget)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		r := res[0]
 		fmt.Println(r.Table)
@@ -188,6 +248,7 @@ func main() {
 			Device:    cfg.Geometry.String(),
 			Scale:     *scale,
 			Workers:   max(1, budget.Workers),
+			Footprint: learnedftl.FootprintOf(cfg),
 			Budget:    budget,
 			Results:   results,
 		}
@@ -195,12 +256,13 @@ func main() {
 		data, err := json.MarshalIndent(doc, "", "  ")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		if err := os.WriteFile(name, append(data, '\n'), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("wrote %s\n", name)
 	}
+	return 0
 }

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"learnedftl/internal/core"
 	"learnedftl/internal/ftl"
 	"learnedftl/internal/gc"
 	"learnedftl/internal/learned"
@@ -56,6 +57,15 @@ type Budget struct {
 	// ladder upward from the device config's ratio).
 	GCPolicies string  `json:"gc_policies,omitempty"`
 	OPRatio    float64 `json:"op_ratio,omitempty"`
+
+	// Scale-experiment knobs. The scale experiment climbs a geometry
+	// ladder from the tiny device up to the paper's 32 GiB one;
+	// ScaleMaxGiB caps the ladder (0 = a 2 GiB default that keeps quick
+	// runs quick; PaperBudget raises it to the full 32) and ScaleMinGiB
+	// cuts the lower rungs off, so a CI smoke cell can pin one mid-size
+	// rung with min == max.
+	ScaleMinGiB float64 `json:"scale_min_gib,omitempty"`
+	ScaleMaxGiB float64 `json:"scale_max_gib,omitempty"`
 
 	// Checkpoints, when set, lets experiment cells restore a warmed device
 	// from a snapshot keyed by (scheme, config, warm-up spec) instead of
@@ -115,7 +125,7 @@ func QuickBudget() Budget {
 
 // PaperBudget approximates the paper's run sizes (hours of CPU).
 func PaperBudget() Budget {
-	return Budget{Requests: 500000, WarmExtra: 5, TraceScale: 1.0, Threads: 64}
+	return Budget{Requests: 500000, WarmExtra: 5, TraceScale: 1.0, Threads: 64, ScaleMaxGiB: 32}
 }
 
 // Table is a printable experiment result.
@@ -253,13 +263,14 @@ func measure(f FTL, gens []sim.Generator) stats.Report {
 	return report(f, res)
 }
 
-// report freezes a run into a stats.Report with the device's wear view
-// attached.
+// report freezes a run into a stats.Report with the device's wear view and
+// model footprint attached.
 func report(f FTL, res sim.Result) stats.Report {
 	cfg := f.Config()
 	r := stats.BuildReport(f.Name(), f.Collector(), f.Flash().Counters(),
 		res.Makespan(), cfg.Geometry.PageSize, cfg.Energy)
 	r.AddWear(f.Flash().Wear(), cfg.BlockEndurance, cfg.Geometry.TotalBytes())
+	r.AddFootprint(f.Flash().Footprint())
 	return r
 }
 
@@ -1175,6 +1186,124 @@ func MountLat(cfg Config, b Budget) (Table, error) {
 	}, nil
 }
 
+// scaledPaperConfig returns the paper configuration at ScaledGeometry(scale)
+// — the paper's 64-chip layout with the per-plane block count divided by
+// scale — raising the over-provisioning ratio just far enough that
+// LearnedFTL's group allocator (the scheme with the tightest row budget)
+// still constructs. Small rungs have so few superblock rows that the
+// paper's 8% OP leaves no spare rows for groups plus the GC reserve; the
+// probe ladder mirrors the hand-tuning QuickConfig documents.
+func scaledPaperConfig(scale int) (Config, error) {
+	cfg := ftl.DefaultConfig(nand.ScaledGeometry(scale))
+	for _, op := range []float64{cfg.OPRatio, 0.15, 0.22, 0.30, 0.38, 0.45} {
+		cfg.OPRatio = op
+		// core.SpareRows is the same row-budget arithmetic the LearnedFTL
+		// constructor runs: negative means it rejects the config, and with
+		// fewer than a couple of spare superblock rows beyond the GC
+		// reserve the group allocator can never extend a group and
+		// degenerates into GC-per-write. Small rungs need the
+		// over-provisioning to buy that slack (the same adaptation
+		// QuickConfig documents).
+		if core.SpareRows(cfg) >= 2 {
+			return cfg, nil
+		}
+	}
+	return cfg, fmt.Errorf("learnedftl: no workable over-provisioning for %s", cfg.Geometry)
+}
+
+// scaleLadder assembles the scale experiment's geometry rungs: the two
+// vetted small devices (tiny, quick) and the paper geometry at shrinking
+// block-count divisors up to the full 32 GiB device, windowed by the
+// budget's [ScaleMinGiB, ScaleMaxGiB]. Rungs outside the window are
+// filtered on geometry alone, before any feasibility probing.
+func scaleLadder(b Budget) ([]Config, error) {
+	lo, hi := b.ScaleMinGiB, b.ScaleMaxGiB
+	if hi <= 0 {
+		hi = 2
+	}
+	inWindow := func(g nand.Geometry) bool {
+		gib := float64(g.TotalBytes()) / (1 << 30)
+		return gib >= lo-1e-9 && gib <= hi+1e-9
+	}
+	var out []Config
+	for _, cfg := range []Config{TinyConfig(), QuickConfig()} {
+		if inWindow(cfg.Geometry) {
+			out = append(out, cfg)
+		}
+	}
+	for _, scale := range []int{16, 8, 4, 2, 1} {
+		if !inWindow(nand.ScaledGeometry(scale)) {
+			continue
+		}
+		cfg, err := scaledPaperConfig(scale)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, cfg)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("learnedftl: scale ladder window [%v, %v] GiB matches no rung", lo, hi)
+	}
+	return out, nil
+}
+
+// ScaleExp measures how simulator cost scales with device size: every
+// scheme on a ladder of geometries from the tiny test device up to the
+// paper's 32 GiB one, reporting the warm-up's host wall clock (the dominant
+// cost of a sweep cell), steady-state random-write IOPS over the measured
+// window, write amplification, and the device model's resident metadata
+// footprint (bytes per physical page and total) that bounds how many cells
+// fit in RAM. Warm-up deliberately bypasses the checkpoint cache — its
+// wall clock is the deliverable, so restoring it would measure the cache
+// instead. The wall-clock column is host time and varies run to run; every
+// other column is deterministic. Budget.ScaleMinGiB/ScaleMaxGiB window the
+// ladder.
+func ScaleExp(cfg Config, b Budget) (Table, error) {
+	rungs, err := scaleLadder(b)
+	if err != nil {
+		return Table{}, err
+	}
+	schemes := Schemes()
+	rows := make([][]string, len(rungs)*len(schemes))
+	err = runCells(b, len(rows), func(i int) error {
+		ri, si := i/len(schemes), i%len(schemes)
+		c := rungs[ri]
+		start := time.Now()
+		f, err := New(schemes[si], c)
+		if err != nil {
+			return err
+		}
+		warmDevice(f, b.WarmExtra)
+		warmSecs := time.Since(start).Seconds()
+		// The simulated-program count of the warm-up is the deterministic,
+		// contention-free cost signal; the wall clock beside it includes
+		// whatever co-running cells the worker pool scheduled.
+		life := f.Flash().LifetimeCounters()
+		warmProgs := life.TotalPrograms()
+		r := measureFIO(f, workload.RandWrite, b.Threads, 1, b.Requests)
+		fp := f.Flash().Footprint()
+		rows[i] = []string{
+			schemes[si].String(),
+			fmt.Sprintf("%.2fGiB", float64(c.Geometry.TotalBytes())/(1<<30)),
+			fmt.Sprint(c.Geometry.TotalBlocks()),
+			fmt.Sprintf("%.2f", fp.BytesPerPage),
+			fmt.Sprintf("%.1f", float64(fp.TotalBytes)/(1<<20)),
+			fmt.Sprintf("%.2f", float64(warmProgs)/1e6),
+			fmt.Sprintf("%.2fs", warmSecs),
+			f0(r.IOPS), f2(r.WriteAmp),
+		}
+		return nil
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	return Table{
+		Title:  "Scale: geometry ladder tiny -> paper (warm Mpg = simulated warm-up programs, deterministic; warm = host wall clock, contention-prone under -parallel)",
+		Header: []string{"FTL", "device", "blocks", "meta B/page", "meta MiB", "warm Mpg", "warm", "randwrite IOPS", "WA"},
+		Rows:   rows,
+	}, nil
+}
+
 // ExperimentInfo describes one runnable experiment for the registry and
 // the ftlbench -list table.
 type ExperimentInfo struct {
@@ -1207,6 +1336,7 @@ func ExperimentList() []ExperimentInfo {
 		{"gcsweep", "write amplification and wear vs over-provisioning x GC policy", GCSweep},
 		{"gclat", "open-loop write tails: foreground vs background GC", GCLat},
 		{"mountlat", "OOB crash-recovery scan latency vs device fill", MountLat},
+		{"scale", "geometry ladder tiny -> paper: warm-up cost, steady IOPS, model footprint", ScaleExp},
 	}
 }
 

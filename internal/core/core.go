@@ -97,6 +97,63 @@ type LearnedFTL struct {
 	inGC bool
 }
 
+// rowPlan is the superblock-row budget of a configuration: how the
+// geometry's per-unit rows split between the translation pool, the groups
+// and the GC reserve. New and the scale experiment's feasibility probe
+// (SpareRows) derive it from the same arithmetic so they cannot diverge.
+type rowPlan struct {
+	span      int   // logical pages per group
+	sbPages   int   // physical pages per superblock row
+	lp        int64 // group-aligned logical pages
+	ngroups   int
+	numTPNs   int
+	transRows int
+	reserve   int
+	dataRows  int
+}
+
+// planRows computes the row budget. The translation pool holds 2.5x the
+// live translation pages, at least one block per unit row and at least 2
+// rows; 2 further rows are reserved as GC relocation targets.
+func planRows(cfg ftl.Config) (rowPlan, error) {
+	p := rowPlan{
+		span:    cfg.GroupEntries * cfg.EntriesPerTP,
+		sbPages: nand.NewAddrCodec(cfg.Geometry).SuperblockPages(),
+		reserve: 2,
+	}
+	if p.span > p.sbPages {
+		return p, fmt.Errorf("core: group span %d exceeds superblock capacity %d; lower GroupEntries", p.span, p.sbPages)
+	}
+	p.lp = cfg.LogicalPages()
+	p.lp -= p.lp % int64(p.span)
+	if p.lp == 0 {
+		return p, fmt.Errorf("core: logical space smaller than one group (%d pages)", p.span)
+	}
+	p.ngroups = int(p.lp / int64(p.span))
+	p.numTPNs = int(p.lp) / cfg.EntriesPerTP
+	tpPages := 5 * p.numTPNs / 2
+	p.transRows = (tpPages + p.sbPages - 1) / p.sbPages
+	if p.transRows < 2 {
+		p.transRows = 2
+	}
+	p.dataRows = cfg.Geometry.BlocksPerUnit - p.transRows
+	return p, nil
+}
+
+// SpareRows reports how many superblock rows cfg leaves free beyond the
+// groups' one-row minimum, the translation pool and the GC reserve — the
+// slack the group allocator grows groups into. Negative means New rejects
+// the configuration outright; zero constructs but degenerates into
+// GC-per-write (every group is pinned to a single row). The scale
+// experiment requires at least 2.
+func SpareRows(cfg ftl.Config) int {
+	p, err := planRows(cfg)
+	if err != nil {
+		return -1 << 30
+	}
+	return p.dataRows - p.ngroups - p.reserve
+}
+
 // New builds a LearnedFTL device. The configuration's logical space must be
 // group-aligned and the geometry must leave enough superblock rows for the
 // groups plus GC reserve; DefaultConfig at paper or paper-scaled geometry
@@ -107,31 +164,15 @@ func New(cfg ftl.Config, opt Options) (*LearnedFTL, error) {
 	}
 	g := cfg.Geometry
 	codec := nand.NewAddrCodec(g)
-	span := cfg.GroupEntries * cfg.EntriesPerTP
-	sbPages := codec.SuperblockPages()
-	if span > sbPages {
-		return nil, fmt.Errorf("core: group span %d exceeds superblock capacity %d; lower GroupEntries", span, sbPages)
+	p, err := planRows(cfg)
+	if err != nil {
+		return nil, err
 	}
-	lp := cfg.LogicalPages()
-	lp -= lp % int64(span)
-	if lp == 0 {
-		return nil, fmt.Errorf("core: logical space smaller than one group (%d pages)", span)
-	}
-	ngroups := int(lp / int64(span))
-	numTPNs := int(lp) / cfg.EntriesPerTP
-
-	// Size the translation pool: 2.5x the live translation pages, at least
-	// one block per unit row and at least 2 rows of slack for GC.
-	tpPages := 5 * numTPNs / 2
-	transRows := (tpPages + sbPages - 1) / sbPages
-	if transRows < 2 {
-		transRows = 2
-	}
-	reserve := 2
-	dataRows := g.BlocksPerUnit - transRows
-	if ngroups+reserve > dataRows {
+	span, sbPages, lp := p.span, p.sbPages, p.lp
+	ngroups, numTPNs, transRows, reserve := p.ngroups, p.numTPNs, p.transRows, p.reserve
+	if ngroups+reserve > p.dataRows {
 		return nil, fmt.Errorf("core: need %d data rows (%d groups + %d reserve) but geometry has %d; raise OPRatio",
-			ngroups+reserve, ngroups, reserve, dataRows)
+			ngroups+reserve, ngroups, reserve, p.dataRows)
 	}
 
 	fl, err := nand.NewFlash(g, cfg.Timing)
@@ -492,6 +533,23 @@ func (f *LearnedFTL) updateTrans(tpn int, doRead bool, now nand.Time) nand.Time 
 			now = f.fl.Read(old, now, nand.OpTranslation)
 		}
 	}
+	// Keep one block's worth of slack in the pool: pool GC relocates a
+	// victim's live pages through the pool's own allocator, so a pool
+	// allowed to fill completely wedges its own collection the moment
+	// every full block still holds a live page (the historical panic the
+	// larger scale-experiment rungs exposed). Collecting while the slack
+	// is at or below one block keeps relocation targets available —
+	// inductively, a collection can then always complete.
+	ppb := f.cfg.Geometry.PagesPerBlock
+	for f.tp.freeSlots() <= ppb {
+		var collected bool
+		now, collected = f.tp.gcTrans(now, func(movedTPN int, moved nand.PPN) {
+			f.gtd.Update(movedTPN, moved)
+		})
+		if !collected {
+			break
+		}
+	}
 	np, ok := f.tp.alloc()
 	for !ok {
 		var collected bool
@@ -502,6 +560,13 @@ func (f *LearnedFTL) updateTrans(tpn int, doRead bool, now nand.Time) nand.Time 
 			panic("core: translation pool exhausted")
 		}
 		np, ok = f.tp.alloc()
+	}
+	// Pool GC above may have collected the block holding tpn's own live
+	// page: gcTrans relocated it and repointed the GTD, so the location
+	// captured before the collections would be stale — invalidate the
+	// current one.
+	if old != nand.InvalidPPN {
+		old = f.gtd.Lookup(tpn)
 	}
 	done, err := f.fl.Program(np, nand.OOB{Key: int64(tpn), Trans: true}, now, nand.OpTranslation)
 	if err != nil {

@@ -71,15 +71,20 @@ func (p *transPool) alloc() (nand.PPN, bool) {
 	return base + nand.PPN(p.fl.BlockWritePtr(blk)), true
 }
 
-// victim returns the fully-written, non-active pool block with the fewest
-// valid pages, or -1.
+// victim returns the written, non-active pool block with the fewest valid
+// pages that has something invalid to reclaim, or -1. All-valid blocks are
+// never victims: collecting one relocates a block's worth of live pages
+// for a net slot gain of zero, which wastes an erase cycle and — under the
+// proactive slack loop in updateTrans — could shuffle live pages forever
+// without ever raising the free-slot count.
 func (p *transPool) victim() int {
 	best, bestValid := -1, 1<<30
 	for _, blk := range p.blocks {
-		if p.fl.BlockWritePtr(blk) == 0 || p.isActive(blk) {
+		wp := p.fl.BlockWritePtr(blk)
+		if wp == 0 || p.isActive(blk) {
 			continue
 		}
-		if v := p.fl.BlockValid(blk); v < bestValid {
+		if v := p.fl.BlockValid(blk); v < wp && v < bestValid {
 			best, bestValid = blk, v
 		}
 	}

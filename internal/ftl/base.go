@@ -110,6 +110,10 @@ func NewBase(cfg Config) (*Base, error) {
 		Hooks: NopHooks{},
 	}
 	b.GC = gc.NewController(fl, b.BM, b, b.Col, pol, cfg.GCLowWater, cfg.GCBGWater)
+	// Active-block transitions feed the controller's incremental victim
+	// index: active blocks are never victims, so the index must learn about
+	// every open/retire without rescanning the device.
+	b.BM.SetActiveHook(b.GC.ActiveChanged)
 	return b, nil
 }
 

@@ -35,6 +35,23 @@ type BlockMan struct {
 	// allocation order), so equal-busy ties fall to the chip whose next
 	// page has the smallest VPPN and striped writes get contiguous VPPNs.
 	scanOrder []int
+
+	// onActive fires for every block whose active-write status changes on
+	// the allocation path (both the retiring and the newly opened block).
+	// The GC controller's victim index rides on it; wholesale reshuffles
+	// (snapshot load, crash rebuild) are covered by gc.Controller.Resync
+	// instead of per-block notifications.
+	onActive func(blockID int)
+}
+
+// SetActiveHook registers the active-block transition callback.
+func (b *BlockMan) SetActiveHook(fn func(blockID int)) { b.onActive = fn }
+
+// notifyActive fires the hook for a real block id.
+func (b *BlockMan) notifyActive(blockID int) {
+	if b.onActive != nil && blockID >= 0 {
+		b.onActive(blockID)
+	}
 }
 
 // NewBlockMan returns a manager over an erased flash array: every block
@@ -152,7 +169,10 @@ func (b *BlockMan) allocOn(chip int, trans bool) (nand.PPN, bool) {
 		blk = b.free[chip][n-1]
 		b.free[chip] = b.free[chip][:n-1]
 		b.freeCount--
+		old := act[chip]
 		act[chip] = blk
+		b.notifyActive(old)
+		b.notifyActive(blk)
 	}
 	pg := b.f.BlockWritePtr(blk)
 	base := b.codec.Encode(b.codec.BlockAddr(blk))

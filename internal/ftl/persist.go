@@ -55,6 +55,10 @@ func (b *Base) LoadBaseState(d *persist.Decoder) error {
 	if err := b.BM.load(d); err != nil {
 		return err
 	}
+	// The allocator's active blocks moved wholesale; re-probe the victim
+	// index's active set (the flash import already marked every block
+	// dirty).
+	b.GC.Resync()
 	b.GC.ImportStats(gc.Stats{
 		Foreground: d.I64(),
 		Background: d.I64(),
@@ -110,6 +114,9 @@ func (b *Base) RecoverFromCrash(now nand.Time) nand.Time {
 		}
 	}
 	b.BM.RebuildFromFlash()
+	// Crash rebuild reopens active blocks without per-transition
+	// notifications; resync the victim index's view of them.
+	b.GC.Resync()
 	return res.Done
 }
 

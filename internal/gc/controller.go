@@ -20,6 +20,12 @@ var ErrNoSpace = errors.New("gc: no relocation target (free pool exhausted)")
 // through. The *GC allocation variants may dip into the device-wide
 // reserved last free block that host allocations must leave alone, which
 // is what guarantees a collection can always complete.
+//
+// Implementations must report every active-block transition (a block
+// becoming or ceasing to be an active write block) to the controller via
+// ActiveChanged, so the incremental victim index tracks eligibility without
+// rescanning; the controller seeds the active set itself at construction
+// and after Resync.
 type Allocator interface {
 	// AllocGCPage reserves the next relocation page on the least-busy chip.
 	AllocGCPage(trans bool) (nand.PPN, bool)
@@ -82,9 +88,26 @@ type Controller struct {
 	// collection runs ahead of need and the write path rarely triggers).
 	lowWater, bgWater int
 
+	// idx is the incremental victim index Victim selects through; it is
+	// registered as the flash array's block observer and kept in sync with
+	// the allocator's active set through ActiveChanged/Resync.
+	idx *victimIndex
+
+	// Relocation scratch, reused across collections so the overwrite+GC
+	// hot path stays allocation-free.
+	ppnBuf   []nand.PPN
+	pagesBuf []vp
+	movedBuf []int64
+
 	inGC    bool
 	lastErr error
 	stats   Stats
+}
+
+// vp pairs a valid page with its OOB for relocation.
+type vp struct {
+	ppn nand.PPN
+	oob nand.OOB
 }
 
 // NewController wires a controller. bgWater <= lowWater is raised to
@@ -95,7 +118,7 @@ func NewController(fl *nand.Flash, alloc Allocator, host Host,
 	if bgWater <= lowWater {
 		bgWater = 2 * lowWater
 	}
-	return &Controller{
+	c := &Controller{
 		fl:       fl,
 		codec:    fl.Codec(),
 		alloc:    alloc,
@@ -104,7 +127,37 @@ func NewController(fl *nand.Flash, alloc Allocator, host Host,
 		pol:      pol,
 		lowWater: lowWater,
 		bgWater:  bgWater,
+		idx:      newVictimIndex(fl, alloc, pol),
 	}
+	// The index lives on the flash array's block-dirty feed. One observer
+	// slot exists; a device must route victim selection through exactly one
+	// controller (the last one constructed wins the feed).
+	fl.SetBlockObserver(c.idx)
+	return c
+}
+
+// ActiveChanged tells the victim index a block's active-write status
+// flipped. The block manager calls it on every active-block transition;
+// allocators that fail to do so would leave stale candidates in the index.
+func (c *Controller) ActiveChanged(blockID int) { c.idx.activeChanged(blockID) }
+
+// Resync re-probes the allocator's whole active set — required after a
+// snapshot restore or crash rebuild, where active blocks move without
+// per-transition notifications. (The flash array's own import already
+// reports every block dirty.)
+func (c *Controller) Resync() { c.idx.resyncActive() }
+
+// IndexStats summarizes the victim index's work: how many selections ran
+// and how many candidate blocks they scored in total. examined/selections
+// staying far below TotalBlocks is the proof the scan is no longer linear.
+type IndexStats struct {
+	Selections int64
+	Examined   int64
+}
+
+// IndexStats returns the victim index's selection counters.
+func (c *Controller) IndexStats() IndexStats {
+	return IndexStats{Selections: c.idx.selections, Examined: c.idx.examined}
 }
 
 // Policy returns the active victim-selection policy.
@@ -168,7 +221,20 @@ func (c *Controller) Background(now, deadline nand.Time) nand.Time {
 // non-active block that has something invalid to reclaim (collecting an
 // all-valid block costs a block's worth of relocation for zero gain and
 // can livelock the trigger loop). Returns -1 when no candidate qualifies.
+//
+// Selection runs through the incremental victim index — O(log B)-ish
+// pruned descent instead of the historical full-device scan — and is
+// pinned byte-identical to VictimLinearScan under every policy.
 func (c *Controller) Victim(now nand.Time) int {
+	return c.idx.victim(now)
+}
+
+// VictimLinearScan is the frozen O(TotalBlocks) reference selection the
+// incremental index is equivalence-tested against: ascending block
+// enumeration, strict-greater comparison (lowest id wins ties), the same
+// eligibility filter and age clamp. Do not optimize it — its whole value
+// is being the obviously correct spec.
+func (c *Controller) VictimLinearScan(now nand.Time) int {
 	g := c.fl.Geometry()
 	victim := -1
 	var bestScore float64
@@ -226,21 +292,18 @@ func (c *Controller) collectOnce(now nand.Time, background bool) (nand.Time, boo
 	c.inGC = true
 	defer func() { c.inGC = false }()
 
-	g := c.fl.Geometry()
 	base := c.codec.Encode(c.codec.BlockAddr(victim))
 	t := now
 
-	type vp struct {
-		ppn nand.PPN
-		oob nand.OOB
+	// The block's valid bitmap walks straight to the pages that must move —
+	// no per-page state probing — and the controller-owned scratch keeps
+	// the relocation loop allocation-free across collections.
+	c.ppnBuf = c.fl.AppendValidPages(victim, c.ppnBuf[:0])
+	pages := c.pagesBuf[:0]
+	for _, p := range c.ppnBuf {
+		pages = append(pages, vp{p, c.fl.PageOOB(p)})
 	}
-	var pages []vp
-	for i := 0; i < g.PagesPerBlock; i++ {
-		p := base + nand.PPN(i)
-		if c.fl.State(p) == nand.PageValid {
-			pages = append(pages, vp{p, c.fl.PageOOB(p)})
-		}
-	}
+	c.pagesBuf = pages[:0]
 	sorted := c.host.SortByLPN()
 	if sorted {
 		sort.Slice(pages, func(i, j int) bool { return pages[i].oob.Key < pages[j].oob.Key })
@@ -251,7 +314,7 @@ func (c *Controller) collectOnce(now nand.Time, background bool) (nand.Time, boo
 	// serializes same-chip reads), and its program depends only on its own
 	// read. The collection ends when the slowest chain finishes.
 	victimChip := c.codec.Chip(base)
-	var moved []int64
+	moved := c.movedBuf[:0]
 	relocated := 0
 	for _, p := range pages {
 		readDone := c.fl.Read(p.ppn, now, nand.OpGC)
@@ -272,6 +335,7 @@ func (c *Controller) collectOnce(now nand.Time, background bool) (nand.Time, boo
 				ErrNoSpace, victim, len(pages), c.alloc.FreeBlocks())
 			c.stats.Aborted++
 			t = c.host.Finalize(moved, t)
+			c.movedBuf = moved[:0]
 			c.stats.PagesMoved += int64(relocated)
 			c.col.RecordGC(now, relocated, t-now)
 			cnt := c.fl.Counters()
@@ -301,6 +365,7 @@ func (c *Controller) collectOnce(now nand.Time, background bool) (nand.Time, boo
 	t = eraseDone
 	c.alloc.Release(victim)
 	t = c.host.Finalize(moved, t)
+	c.movedBuf = moved[:0]
 	c.lastErr = nil
 	c.stats.PagesMoved += int64(len(pages))
 	if background {

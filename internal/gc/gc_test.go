@@ -83,11 +83,27 @@ func TestCostAgeTimesAvoidsWornCandidates(t *testing.T) {
 }
 
 // fakeAlloc tracks a flat free pool over the test flash and can be wedged.
+// Like the real block manager it reports active-block transitions to the
+// controller (onActive), so the incremental victim index stays exact.
 type fakeAlloc struct {
-	fl     *nand.Flash
-	active int // single active block for relocation targets
-	free   []int
-	wedged bool
+	fl       *nand.Flash
+	active   int // single active block for relocation targets
+	free     []int
+	wedged   bool
+	onActive func(blockID int)
+}
+
+func (a *fakeAlloc) setActive(blk int) {
+	old := a.active
+	a.active = blk
+	if a.onActive != nil {
+		if old >= 0 {
+			a.onActive(old)
+		}
+		if blk >= 0 {
+			a.onActive(blk)
+		}
+	}
 }
 
 func (a *fakeAlloc) take(trans bool) (nand.PPN, bool) {
@@ -101,8 +117,9 @@ func (a *fakeAlloc) take(trans bool) (nand.PPN, bool) {
 	if len(a.free) == 0 {
 		return nand.InvalidPPN, false
 	}
-	a.active = a.free[len(a.free)-1]
+	next := a.free[len(a.free)-1]
 	a.free = a.free[:len(a.free)-1]
+	a.setActive(next)
 	return a.take(trans)
 }
 
@@ -150,7 +167,9 @@ func invalidate(t *testing.T, fl *nand.Flash, blk, n int) {
 }
 
 func newTestController(fl *nand.Flash, a *fakeAlloc, h *fakeHost, k Kind) *Controller {
-	return NewController(fl, a, h, stats.NewCollector(), MustPolicy(k), 2, 0)
+	c := NewController(fl, a, h, stats.NewCollector(), MustPolicy(k), 2, 0)
+	a.onActive = c.ActiveChanged
+	return c
 }
 
 // TestVictimTieBreaksToLowestID pins the deterministic tie-break: among

@@ -3,6 +3,8 @@ package nand
 import (
 	"fmt"
 	"math"
+	"math/bits"
+	"unsafe"
 )
 
 // PageState is the lifecycle state of a physical page.
@@ -35,12 +37,31 @@ func (s PageState) String() string {
 // the reverse mapping there; LeaFTL additionally stores the error interval of
 // the learned segment covering the page. The simulator keeps only the fields
 // the reproduced FTLs consult.
+//
+// OOB is the API value type; the array itself stores each page's OOB packed
+// into a single tagged int64 (Key<<1 | Trans), halving the resident bytes of
+// the old 16-byte struct layout. Keys are LPNs or TPNs, both non-negative,
+// so the tag bit is always available.
 type OOB struct {
 	// Key is the LPN for data pages or the translation-page number (TPN)
 	// for translation pages.
 	Key int64
 	// Trans marks translation pages.
 	Trans bool
+}
+
+// packOOB folds an OOB into its tagged-key storage form.
+func packOOB(o OOB) int64 {
+	k := o.Key << 1
+	if o.Trans {
+		k |= 1
+	}
+	return k
+}
+
+// unpackOOB is packOOB's inverse.
+func unpackOOB(k int64) OOB {
+	return OOB{Key: k >> 1, Trans: k&1 != 0}
 }
 
 type blockMeta struct {
@@ -50,17 +71,35 @@ type blockMeta struct {
 	lastMod  Time // completion time of the most recent program into the block
 }
 
+// BlockObserver receives block-granularity dirty notifications: the observed
+// block's page states, valid count, write pointer, erase count or program
+// recency just changed. The GC victim index registers itself here so victim
+// selection can stay incremental instead of rescanning every block. The
+// callback runs on the flash hot paths (program/invalidate/erase) and must
+// not allocate.
+type BlockObserver interface {
+	BlockDirty(blockID int)
+}
+
 // Flash is the flash array: page states, OOB metadata, per-chip operation
 // serialization and operation/energy accounting. It is not safe for
 // concurrent use; the simulation engine is single-threaded by design.
+//
+// Page metadata is stored packed: two parallel bitmaps (programmed, valid)
+// give each page's 2-bit state, and one tagged int64 per page carries the
+// OOB reverse mapping — 8.25 bytes per page against the 17 bytes of the
+// historical one-byte-state + 16-byte-OOB-struct layout. The valid bitmap
+// doubles as the per-block valid-page index GC relocation and the mount
+// scan iterate instead of probing every page.
 type Flash struct {
 	geo    Geometry
 	codec  AddrCodec
 	timing Timing
 
-	state  []PageState
-	oob    []OOB
-	blocks []blockMeta
+	programmed []uint64 // bit p set ⇔ page p programmed since its last erase
+	valid      []uint64 // bit p set ⇔ page p holds live data
+	keys       []int64  // packed OOB (packOOB); 0 for free pages
+	blocks     []blockMeta
 
 	chipBusy []Time // per parallel unit, next idle time
 
@@ -69,6 +108,8 @@ type Flash struct {
 	// total operation count since device construction survives the
 	// per-phase resets experiments perform.
 	lifetime OpCounters
+
+	obs BlockObserver
 }
 
 // NewFlash builds an erased flash array for geometry g with timing t.
@@ -76,14 +117,16 @@ func NewFlash(g Geometry, t Timing) (*Flash, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
+	words := (g.TotalPages() + 63) / 64
 	f := &Flash{
-		geo:      g,
-		codec:    NewAddrCodec(g),
-		timing:   t,
-		state:    make([]PageState, g.TotalPages()),
-		oob:      make([]OOB, g.TotalPages()),
-		blocks:   make([]blockMeta, g.TotalBlocks()),
-		chipBusy: make([]Time, g.Chips()),
+		geo:        g,
+		codec:      NewAddrCodec(g),
+		timing:     t,
+		programmed: make([]uint64, words),
+		valid:      make([]uint64, words),
+		keys:       make([]int64, g.TotalPages()),
+		blocks:     make([]blockMeta, g.TotalBlocks()),
+		chipBusy:   make([]Time, g.Chips()),
 	}
 	return f, nil
 }
@@ -95,6 +138,19 @@ func MustNewFlash(g Geometry, t Timing) *Flash {
 		panic(err)
 	}
 	return f
+}
+
+// SetBlockObserver registers the single block-dirty observer (nil to
+// detach). The flash array supports one observer: the last registration
+// wins, so exactly one GC controller should own victim selection for a
+// device.
+func (f *Flash) SetBlockObserver(o BlockObserver) { f.obs = o }
+
+// notifyBlock fires the observer for one block.
+func (f *Flash) notifyBlock(blockID int) {
+	if f.obs != nil {
+		f.obs.BlockDirty(blockID)
+	}
 }
 
 // Geometry returns the device geometry.
@@ -151,36 +207,46 @@ func (f *Flash) Read(p PPN, after Time, kind OpKind) Time {
 // Program writes a page, setting it valid and recording its OOB. NAND
 // requires in-order programming within a block; violating that, or
 // programming a non-free page, is a simulator-usage bug and returns an
-// error.
+// error. OOB keys must be non-negative (LPNs and TPNs are), so the packed
+// representation's tag bit never collides with the key.
 func (f *Flash) Program(p PPN, oob OOB, after Time, kind OpKind) (Time, error) {
 	a := f.codec.Decode(p)
 	bid := f.codec.BlockID(p)
 	b := &f.blocks[bid]
-	if f.state[p] != PageFree {
-		return 0, fmt.Errorf("nand: program of non-free page %d (state %v)", p, f.state[p])
+	w, m := p>>6, uint64(1)<<(uint64(p)&63)
+	if f.programmed[w]&m != 0 {
+		return 0, fmt.Errorf("nand: program of non-free page %d (state %v)", p, f.State(p))
 	}
 	if a.Page != b.writePtr {
 		return 0, fmt.Errorf("nand: out-of-order program: block %d page %d, write pointer %d",
 			bid, a.Page, b.writePtr)
 	}
-	f.state[p] = PageValid
-	f.oob[p] = oob
+	if oob.Key < 0 {
+		return 0, fmt.Errorf("nand: program of page %d with negative OOB key %d", p, oob.Key)
+	}
+	f.programmed[w] |= m
+	f.valid[w] |= m
+	f.keys[p] = packOOB(oob)
 	b.valid++
 	b.writePtr++
 	f.counters.Programs[kind]++
 	done := f.schedule(f.codec.Chip(p), after, f.timing.ProgramLatency)
 	b.lastMod = done
+	f.notifyBlock(bid)
 	return done, nil
 }
 
 // Invalidate marks a valid page stale. Invalidating a non-valid page is a
 // usage bug.
 func (f *Flash) Invalidate(p PPN) error {
-	if f.state[p] != PageValid {
-		return fmt.Errorf("nand: invalidate of non-valid page %d (state %v)", p, f.state[p])
+	w, m := p>>6, uint64(1)<<(uint64(p)&63)
+	if f.valid[w]&m == 0 {
+		return fmt.Errorf("nand: invalidate of non-valid page %d (state %v)", p, f.State(p))
 	}
-	f.state[p] = PageInvalid
-	f.blocks[f.codec.BlockID(p)].valid--
+	f.valid[w] &^= m
+	bid := f.codec.BlockID(p)
+	f.blocks[bid].valid--
+	f.notifyBlock(bid)
 	return nil
 }
 
@@ -192,9 +258,10 @@ func (f *Flash) Erase(blockID int, after Time) (Time, error) {
 		return 0, fmt.Errorf("nand: erase of block %d with %d valid pages", blockID, b.valid)
 	}
 	base := PPN(int64(blockID) * int64(f.geo.PagesPerBlock))
+	clearBits(f.programmed, int64(base), int64(base)+int64(f.geo.PagesPerBlock))
+	clearBits(f.valid, int64(base), int64(base)+int64(f.geo.PagesPerBlock))
 	for i := 0; i < f.geo.PagesPerBlock; i++ {
-		f.state[base+PPN(i)] = PageFree
-		f.oob[base+PPN(i)] = OOB{}
+		f.keys[base+PPN(i)] = 0
 	}
 	b.writePtr = 0
 	b.erases++
@@ -204,14 +271,73 @@ func (f *Flash) Erase(blockID int, after Time) (Time, error) {
 	b.lastMod = 0
 	f.counters.Erases++
 	chip := f.codec.Chip(base)
+	f.notifyBlock(blockID)
 	return f.schedule(chip, after, f.timing.EraseLatency), nil
 }
 
+// clearBits zeroes bits [lo, hi) of a bitmap, handling word-misaligned
+// block boundaries (PagesPerBlock need not divide 64).
+func clearBits(words []uint64, lo, hi int64) {
+	if lo >= hi {
+		return
+	}
+	loW, hiW := lo>>6, (hi-1)>>6
+	loMask := ^uint64(0) << (uint64(lo) & 63)
+	hiMask := ^uint64(0) >> (63 - (uint64(hi-1) & 63))
+	if loW == hiW {
+		words[loW] &^= loMask & hiMask
+		return
+	}
+	words[loW] &^= loMask
+	for w := loW + 1; w < hiW; w++ {
+		words[w] = 0
+	}
+	words[hiW] &^= hiMask
+}
+
 // State returns the state of page p.
-func (f *Flash) State(p PPN) PageState { return f.state[p] }
+func (f *Flash) State(p PPN) PageState {
+	w, m := p>>6, uint64(1)<<(uint64(p)&63)
+	if f.valid[w]&m != 0 {
+		return PageValid
+	}
+	if f.programmed[w]&m != 0 {
+		return PageInvalid
+	}
+	return PageFree
+}
 
 // PageOOB returns the OOB metadata of page p.
-func (f *Flash) PageOOB(p PPN) OOB { return f.oob[p] }
+func (f *Flash) PageOOB(p PPN) OOB { return unpackOOB(f.keys[p]) }
+
+// AppendValidPages appends the PPNs of blockID's valid pages to dst in
+// ascending order, iterating the block's valid bitmap word by word instead
+// of probing the state of every page. GC relocation and the mount-time OOB
+// scan use it; with a reused dst it does not allocate once dst's capacity
+// has grown to the block's valid population.
+func (f *Flash) AppendValidPages(blockID int, dst []PPN) []PPN {
+	lo := int64(blockID) * int64(f.geo.PagesPerBlock)
+	hi := lo + int64(f.geo.PagesPerBlock)
+	for w := lo >> 6; w <= (hi-1)>>6; w++ {
+		word := f.valid[w]
+		if word == 0 {
+			continue
+		}
+		base := w << 6
+		// Mask off bits outside [lo, hi) in the boundary words.
+		if base < lo {
+			word &= ^uint64(0) << (uint64(lo) & 63)
+		}
+		if base+64 > hi {
+			word &= ^uint64(0) >> (63 - (uint64(hi-1) & 63))
+		}
+		for word != 0 {
+			dst = append(dst, PPN(base+int64(bits.TrailingZeros64(word))))
+			word &= word - 1
+		}
+	}
+	return dst
+}
 
 // BlockValid returns the number of valid pages in blockID.
 func (f *Flash) BlockValid(blockID int) int { return f.blocks[blockID].valid }
@@ -272,17 +398,62 @@ func (f *Flash) BlockFreePages(blockID int) int {
 // ChipBusyUntil returns the next idle time of the given parallel unit.
 func (f *Flash) ChipBusyUntil(chip int) Time { return f.chipBusy[chip] }
 
-// FlashState is the portable snapshot of a flash array's mutable state.
-// Per-block valid counts and write pointers are not carried: NAND's
-// in-order programming makes a block's programmed pages a prefix, so both
-// derive from the page states.
+// LegacyPageMetaBytesPerPage is what the pre-packed struct layout spent per
+// physical page: a one-byte PageState plus a 16-byte OOB struct (int64 key,
+// bool, padding). The footprint tests pin the packed layout's win against
+// it.
+const LegacyPageMetaBytesPerPage = 17
+
+// Footprint summarizes the resident bytes of the device model's metadata
+// arrays — the memory the simulator spends per simulated flash page, which
+// is what bounds how large a geometry a sweep can hold in RAM.
+type Footprint struct {
+	// PageMetaBytes covers the page-granular arrays: the programmed and
+	// valid bitmaps (1 bit per page each) and the tagged OOB keys (8 bytes
+	// per page).
+	PageMetaBytes int64 `json:"page_meta_bytes"`
+	// BlockMetaBytes covers the per-block metadata structs.
+	BlockMetaBytes int64 `json:"block_meta_bytes"`
+	// ChipBytes covers the per-chip schedule.
+	ChipBytes int64 `json:"chip_bytes"`
+	// TotalBytes is the sum of the above.
+	TotalBytes int64 `json:"total_bytes"`
+	// BytesPerPage is PageMetaBytes divided by the physical page count.
+	BytesPerPage float64 `json:"bytes_per_page"`
+}
+
+// FootprintFor computes the device-model footprint of a geometry without
+// building the arrays.
+func FootprintFor(g Geometry) Footprint {
+	pages := int64(g.TotalPages())
+	words := (pages + 63) / 64
+	fp := Footprint{
+		PageMetaBytes:  2*8*words + 8*pages,
+		BlockMetaBytes: int64(g.TotalBlocks()) * int64(unsafe.Sizeof(blockMeta{})),
+		ChipBytes:      int64(g.Chips()) * 8,
+	}
+	fp.TotalBytes = fp.PageMetaBytes + fp.BlockMetaBytes + fp.ChipBytes
+	if pages > 0 {
+		fp.BytesPerPage = float64(fp.PageMetaBytes) / float64(pages)
+	}
+	return fp
+}
+
+// Footprint returns the resident metadata footprint of this array.
+func (f *Flash) Footprint() Footprint { return FootprintFor(f.geo) }
+
+// FlashState is the portable snapshot of a flash array's mutable state, in
+// the packed representation the array itself uses. Per-block valid counts
+// and write pointers are not carried: NAND's in-order programming makes a
+// block's programmed pages a prefix, so both derive from the bitmaps.
 type FlashState struct {
-	States   []PageState
-	OOBs     []OOB
-	Erases   []int64
-	LastMod  []Time
-	ChipBusy []Time
-	Counters OpCounters
+	Programmed []uint64
+	Valid      []uint64
+	Keys       []int64
+	Erases     []int64
+	LastMod    []Time
+	ChipBusy   []Time
+	Counters   OpCounters
 	// Lifetime is the cumulative operation count including Counters.
 	Lifetime OpCounters
 }
@@ -290,13 +461,14 @@ type FlashState struct {
 // ExportState copies the array's mutable state into a FlashState.
 func (f *Flash) ExportState() FlashState {
 	s := FlashState{
-		States:   append([]PageState(nil), f.state...),
-		OOBs:     append([]OOB(nil), f.oob...),
-		Erases:   make([]int64, len(f.blocks)),
-		LastMod:  make([]Time, len(f.blocks)),
-		ChipBusy: append([]Time(nil), f.chipBusy...),
-		Counters: f.counters,
-		Lifetime: f.LifetimeCounters(),
+		Programmed: append([]uint64(nil), f.programmed...),
+		Valid:      append([]uint64(nil), f.valid...),
+		Keys:       append([]int64(nil), f.keys...),
+		Erases:     make([]int64, len(f.blocks)),
+		LastMod:    make([]Time, len(f.blocks)),
+		ChipBusy:   append([]Time(nil), f.chipBusy...),
+		Counters:   f.counters,
+		Lifetime:   f.LifetimeCounters(),
 	}
 	for i := range f.blocks {
 		s.Erases[i] = f.blocks[i].erases
@@ -307,11 +479,14 @@ func (f *Flash) ExportState() FlashState {
 
 // ImportState replaces the array's mutable state with a previously exported
 // snapshot of the same geometry, recomputing per-block valid counts and
-// write pointers and validating the in-order-programming prefix invariant.
+// write pointers and validating the in-order-programming prefix invariant
+// (and that no page is valid without being programmed). Every block is
+// reported dirty to the observer.
 func (f *Flash) ImportState(s FlashState) error {
 	switch {
-	case len(s.States) != len(f.state), len(s.OOBs) != len(f.oob):
-		return fmt.Errorf("nand: import of %d pages into %d-page device", len(s.States), len(f.state))
+	case len(s.Programmed) != len(f.programmed), len(s.Valid) != len(f.valid),
+		len(s.Keys) != len(f.keys):
+		return fmt.Errorf("nand: import of %d-page state into %d-page device", len(s.Keys), len(f.keys))
 	case len(s.Erases) != len(f.blocks), len(s.LastMod) != len(f.blocks):
 		return fmt.Errorf("nand: import of %d blocks into %d-block device", len(s.Erases), len(f.blocks))
 	case len(s.ChipBusy) != len(f.chipBusy):
@@ -321,15 +496,19 @@ func (f *Flash) ImportState(s FlashState) error {
 	for b := range f.blocks {
 		wp, valid := 0, 0
 		for i := 0; i < ppb; i++ {
-			st := s.States[b*ppb+i]
-			if st == PageFree {
+			p := int64(b)*int64(ppb) + int64(i)
+			w, m := p>>6, uint64(1)<<(uint64(p)&63)
+			if s.Programmed[w]&m == 0 {
+				if s.Valid[w]&m != 0 {
+					return fmt.Errorf("nand: import of block %d has valid bit on unprogrammed page %d", b, i)
+				}
 				continue
 			}
 			if i != wp {
 				return fmt.Errorf("nand: import of block %d violates in-order programming (page %d programmed above free page %d)", b, i, wp)
 			}
 			wp++
-			if st == PageValid {
+			if s.Valid[w]&m != 0 {
 				valid++
 			}
 		}
@@ -340,12 +519,16 @@ func (f *Flash) ImportState(s FlashState) error {
 			lastMod:  s.LastMod[b],
 		}
 	}
-	copy(f.state, s.States)
-	copy(f.oob, s.OOBs)
+	copy(f.programmed, s.Programmed)
+	copy(f.valid, s.Valid)
+	copy(f.keys, s.Keys)
 	copy(f.chipBusy, s.ChipBusy)
 	f.counters = s.Counters
 	f.lifetime = s.Lifetime
 	f.lifetime.subtract(s.Counters)
+	for b := range f.blocks {
+		f.notifyBlock(b)
+	}
 	return nil
 }
 
@@ -354,9 +537,7 @@ func (f *Flash) ImportState(s FlashState) error {
 func (f *Flash) MaxChipBusy() Time {
 	var m Time
 	for _, t := range f.chipBusy {
-		if t > m {
-			m = t
-		}
+		m = max(m, t)
 	}
 	return m
 }

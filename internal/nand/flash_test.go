@@ -226,6 +226,120 @@ func TestEraseClearsBlockLastMod(t *testing.T) {
 	}
 }
 
+// TestPackedBitmapBlockBoundaries exercises the packed page-state bitmaps
+// with a PagesPerBlock that does not divide the 64-bit word size, so block
+// bit ranges straddle word boundaries: programs, invalidations, erases and
+// the valid-bitmap iterator must stay confined to their block.
+func TestPackedBitmapBlockBoundaries(t *testing.T) {
+	g := Geometry{Channels: 1, Ways: 1, Planes: 1, BlocksPerUnit: 8, PagesPerBlock: 12, PageSize: 4096}
+	f := MustNewFlash(g, DefaultTiming())
+	ppb := int64(g.PagesPerBlock)
+	// Fill blocks 0..3 fully; invalidate a scattered subset in each.
+	for blk := int64(0); blk < 4; blk++ {
+		for i := int64(0); i < ppb; i++ {
+			if _, err := f.Program(PPN(blk*ppb+i), OOB{Key: blk*100 + i}, 0, OpHostData); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, p := range []int64{0, 5, 11, 12, 23, 36, 40, 47} {
+		if err := f.Invalidate(PPN(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// AppendValidPages per block must match a per-page State probe exactly.
+	var got []PPN
+	for blk := 0; blk < g.TotalBlocks(); blk++ {
+		got = f.AppendValidPages(blk, got[:0])
+		var want []PPN
+		for i := int64(0); i < ppb; i++ {
+			p := PPN(int64(blk)*ppb + i)
+			if f.State(p) == PageValid {
+				want = append(want, p)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("block %d: AppendValidPages len %d, want %d", blk, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("block %d: valid page %d = %d, want %d", blk, i, got[i], want[i])
+			}
+		}
+		if f.BlockValid(blk) != len(want) {
+			t.Fatalf("block %d: BlockValid %d, want %d", blk, f.BlockValid(blk), len(want))
+		}
+	}
+	// Erasing block 1 (its bits straddle words 0 and 1) must clear exactly
+	// its own range: neighbours keep their states and OOBs.
+	for i := int64(0); i < ppb; i++ {
+		p := PPN(ppb + i)
+		if f.State(p) == PageValid {
+			if err := f.Invalidate(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, err := f.Erase(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < ppb; i++ {
+		if st := f.State(PPN(ppb + i)); st != PageFree {
+			t.Fatalf("erased block 1 page %d state %v", i, st)
+		}
+		if oob := f.PageOOB(PPN(ppb + i)); oob != (OOB{}) {
+			t.Fatalf("erased block 1 page %d kept OOB %+v", i, oob)
+		}
+	}
+	if f.State(PPN(ppb-1)) == PageFree || f.State(PPN(2*ppb)) != PageValid {
+		t.Fatal("erase leaked into a neighbouring block")
+	}
+	if f.PageOOB(PPN(2*ppb)).Key != 200 {
+		t.Fatalf("neighbour OOB clobbered: %+v", f.PageOOB(PPN(2*ppb)))
+	}
+}
+
+// TestOOBTagRoundTrip pins the tagged-key packing: Trans rides in the tag
+// bit, keys (LPNs/TPNs) round-trip exactly, and negative keys — which would
+// collide with the tag — are rejected.
+func TestOOBTagRoundTrip(t *testing.T) {
+	f := newTestFlash(t)
+	cases := []OOB{{Key: 0}, {Key: 0, Trans: true}, {Key: 1 << 40}, {Key: (1 << 40) + 1, Trans: true}}
+	for i, oob := range cases {
+		if _, err := f.Program(PPN(i), oob, 0, OpHostData); err != nil {
+			t.Fatal(err)
+		}
+		if got := f.PageOOB(PPN(i)); got != oob {
+			t.Fatalf("OOB round-trip: got %+v, want %+v", got, oob)
+		}
+	}
+	if _, err := f.Program(PPN(len(cases)), OOB{Key: -1}, 0, OpHostData); err == nil {
+		t.Fatal("negative OOB key accepted")
+	}
+}
+
+// TestFootprintPackedVsStructLayout is the footprint acceptance bar: the
+// packed metadata must spend at least 1.8x fewer resident bytes per
+// physical page than the retired struct layout (1-byte state + 16-byte OOB).
+func TestFootprintPackedVsStructLayout(t *testing.T) {
+	for _, g := range []Geometry{testGeom(), PaperGeometry()} {
+		fp := FootprintFor(g)
+		if fp.BytesPerPage <= 0 {
+			t.Fatalf("degenerate footprint %+v", fp)
+		}
+		if ratio := LegacyPageMetaBytesPerPage / fp.BytesPerPage; ratio < 1.8 {
+			t.Fatalf("packed layout saves only %.2fx over the struct layout (%.2f B/page)", ratio, fp.BytesPerPage)
+		}
+		if fp.TotalBytes != fp.PageMetaBytes+fp.BlockMetaBytes+fp.ChipBytes {
+			t.Fatalf("footprint totals inconsistent: %+v", fp)
+		}
+	}
+	f := newTestFlash(t)
+	if f.Footprint() != FootprintFor(f.Geometry()) {
+		t.Fatal("Flash.Footprint diverges from FootprintFor")
+	}
+}
+
 // TestFlashExportImportRoundTrip: ImportState must reproduce an exported
 // array exactly — page states, OOB, write pointers, valid counts, erase
 // counts, recency, chip schedules and both counter sets.
@@ -277,8 +391,17 @@ func TestFlashExportImportRoundTrip(t *testing.T) {
 
 	// A hole in the programmed prefix must be rejected.
 	bad := f.ExportState()
-	bad.States[0] = PageFree // page 1 of block 0 remains programmed
+	bad.Programmed[0] &^= 1 // page 1 of block 0 remains programmed
+	bad.Valid[0] &^= 1
 	if err := MustNewFlash(g, DefaultTiming()).ImportState(bad); err == nil {
 		t.Fatal("import accepted a programmed page above a free one")
+	}
+
+	// A valid bit on an unprogrammed page must be rejected.
+	bad2 := f.ExportState()
+	lastPage := int64(g.TotalPages() - 1)
+	bad2.Valid[lastPage>>6] |= 1 << (uint(lastPage) & 63)
+	if err := MustNewFlash(g, DefaultTiming()).ImportState(bad2); err == nil {
+		t.Fatal("import accepted a valid bit without a programmed bit")
 	}
 }

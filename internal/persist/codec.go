@@ -64,6 +64,16 @@ func (e *Encoder) Ints(v []int) {
 	}
 }
 
+// Words appends a length-prefixed []uint64 as fixed 8-byte little-endian
+// values. Bitmap words are dense bit patterns, so the fixed encoding beats
+// varints in both size and speed.
+func (e *Encoder) Words(w []uint64) {
+	e.U64(uint64(len(w)))
+	for _, x := range w {
+		e.buf = binary.LittleEndian.AppendUint64(e.buf, x)
+	}
+}
+
 // Decoder reads back an Encoder's stream with a sticky error: after the
 // first malformed read every subsequent read returns the zero value, so
 // load paths can decode straight-line and check Err once.
@@ -71,10 +81,20 @@ type Decoder struct {
 	buf []byte
 	off int
 	err error
+	// ver is the snapshot format version the stream was written under.
+	// NewDecoder assumes the current Version; Restore overrides it from the
+	// snapshot header so version-aware sections (LoadFlash) can decode
+	// legacy streams.
+	ver uint64
 }
 
-// NewDecoder returns a decoder over data.
-func NewDecoder(data []byte) *Decoder { return &Decoder{buf: data} }
+// NewDecoder returns a decoder over data, assuming the current format
+// version.
+func NewDecoder(data []byte) *Decoder { return &Decoder{buf: data, ver: Version} }
+
+// Version returns the format version the decoder's stream was written
+// under.
+func (d *Decoder) Version() uint64 { return d.ver }
 
 // err1 latches the sticky error with the failing read's context.
 func (d *Decoder) err1(context string) {
@@ -166,6 +186,23 @@ func (d *Decoder) Blob() []byte {
 
 // Str reads a length-prefixed string.
 func (d *Decoder) Str() string { return string(d.Blob()) }
+
+// Words reads a length-prefixed fixed-width []uint64.
+func (d *Decoder) Words() []uint64 {
+	n := d.U64()
+	if d.err != nil || n > uint64(d.Remaining())/8 {
+		if d.err == nil {
+			d.err1("words")
+		}
+		return nil
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(d.buf[d.off:])
+		d.off += 8
+	}
+	return out
+}
 
 // Ints reads a length-prefixed signed-varint slice.
 func (d *Decoder) Ints() []int {

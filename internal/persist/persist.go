@@ -26,9 +26,20 @@ import (
 	"learnedftl/internal/nand"
 )
 
-// Version is the snapshot format version; bump on any encoding change so
-// stale checkpoint files fail Restore and fall back to a cold warm-up.
-const Version = 1
+// Version is the snapshot format version; bump on any encoding change.
+// Snapshot always writes the current version; Restore additionally keeps a
+// decoder for the immediately preceding one, so checkpoint caches written
+// before a bump either load exactly (when the old format is still
+// decodable, as v1's struct-layout flash section is) or fail cleanly and
+// fall back to a cold warm-up.
+//
+// Version 2 packed the flash section: page states as two bitmaps
+// (programmed, valid) and the OOB as tagged keys, matching the in-memory
+// packed layout.
+const Version = 2
+
+// oldestDecodableVersion is the lowest snapshot version Restore accepts.
+const oldestDecodableVersion = 1
 
 // magic leads every snapshot.
 const magic = "LFTLSNAP"
@@ -85,9 +96,11 @@ func Restore(dev Device, fingerprint string, data []byte) error {
 	if m := d.Str(); m != magic {
 		return fmt.Errorf("persist: bad snapshot magic %q", m)
 	}
-	if v := d.U64(); v != Version {
-		return fmt.Errorf("persist: snapshot version %d, want %d", v, Version)
+	v := d.U64()
+	if v < oldestDecodableVersion || v > Version {
+		return fmt.Errorf("persist: snapshot version %d, want %d..%d", v, oldestDecodableVersion, Version)
 	}
+	d.ver = v
 	if n := d.Str(); n != dev.Name() {
 		return fmt.Errorf("persist: snapshot of scheme %q restored into %q", n, dev.Name())
 	}
@@ -109,18 +122,16 @@ func Restore(dev Device, fingerprint string, data []byte) error {
 	return nil
 }
 
-// SaveFlash appends the flash array's exported state.
+// SaveFlash appends the flash array's exported state in the packed version-2
+// form: programmed/valid bitmaps as fixed-width words and the OOB as one
+// tagged varint key per page.
 func SaveFlash(e *Encoder, fl *nand.Flash) {
 	s := fl.ExportState()
-	states := make([]byte, len(s.States))
-	for i, st := range s.States {
-		states[i] = byte(st)
-	}
-	e.Blob(states)
-	e.U64(uint64(len(s.OOBs)))
-	for _, o := range s.OOBs {
-		e.I64(o.Key)
-		e.Bool(o.Trans)
+	e.Words(s.Programmed)
+	e.Words(s.Valid)
+	e.U64(uint64(len(s.Keys)))
+	for _, k := range s.Keys {
+		e.I64(k)
 	}
 	e.U64(uint64(len(s.Erases)))
 	for i := range s.Erases {
@@ -135,18 +146,22 @@ func SaveFlash(e *Encoder, fl *nand.Flash) {
 	saveCounters(e, s.Lifetime)
 }
 
-// LoadFlash restores a SaveFlash section into fl (same geometry).
+// LoadFlash restores a SaveFlash section into fl (same geometry),
+// dispatching on the decoder's format version: version 2 streams carry the
+// packed bitmaps directly; version-1 streams carry the historical
+// byte-per-state + struct-OOB layout, which decodes into the same packed
+// state bit for bit.
 func LoadFlash(d *Decoder, fl *nand.Flash) error {
 	var s nand.FlashState
-	raw := d.Blob()
-	s.States = make([]nand.PageState, len(raw))
-	for i, b := range raw {
-		s.States[i] = nand.PageState(b)
-	}
-	s.OOBs = make([]nand.OOB, d.U64())
-	for i := range s.OOBs {
-		s.OOBs[i].Key = d.I64()
-		s.OOBs[i].Trans = d.Bool()
+	if d.Version() >= 2 {
+		s.Programmed = d.Words()
+		s.Valid = d.Words()
+		s.Keys = make([]int64, d.U64())
+		for i := range s.Keys {
+			s.Keys[i] = d.I64()
+		}
+	} else {
+		loadFlashV1Pages(d, &s)
 	}
 	nb := d.U64()
 	s.Erases = make([]int64, nb)
@@ -165,6 +180,40 @@ func LoadFlash(d *Decoder, fl *nand.Flash) error {
 		return err
 	}
 	return fl.ImportState(s)
+}
+
+// loadFlashV1Pages decodes the version-1 page section — one state byte per
+// page followed by (key, trans) OOB pairs — into the packed representation.
+func loadFlashV1Pages(d *Decoder, s *nand.FlashState) {
+	raw := d.Blob()
+	words := (len(raw) + 63) / 64
+	s.Programmed = make([]uint64, words)
+	s.Valid = make([]uint64, words)
+	for i, b := range raw {
+		w, m := i>>6, uint64(1)<<(uint(i)&63)
+		switch nand.PageState(b) {
+		case nand.PageValid:
+			s.Programmed[w] |= m
+			s.Valid[w] |= m
+		case nand.PageInvalid:
+			s.Programmed[w] |= m
+		}
+	}
+	n := d.U64()
+	if d.Err() == nil && n != uint64(len(raw)) {
+		d.err1("v1 OOB count")
+		return
+	}
+	s.Keys = make([]int64, n)
+	for i := range s.Keys {
+		key := d.I64()
+		trans := d.Bool()
+		k := key << 1
+		if trans {
+			k |= 1
+		}
+		s.Keys[i] = k
+	}
 }
 
 func saveCounters(e *Encoder, c nand.OpCounters) {

@@ -2,6 +2,7 @@ package persist
 
 import (
 	"bytes"
+	"hash/crc32"
 	"math"
 	"path/filepath"
 	"testing"
@@ -9,6 +10,12 @@ import (
 	"learnedftl/internal/mapping"
 	"learnedftl/internal/nand"
 )
+
+// crc32Sum is the snapshot trailer checksum in wire order.
+func crc32Sum(buf []byte) [4]byte {
+	sum := crc32.ChecksumIEEE(buf)
+	return [4]byte{byte(sum), byte(sum >> 8), byte(sum >> 16), byte(sum >> 24)}
+}
 
 func TestCodecRoundTrip(t *testing.T) {
 	e := NewEncoder()
@@ -168,6 +175,107 @@ func TestScanOOBRebuildsMappingsAndChargesReads(t *testing.T) {
 	}
 	if got := fl.Counters().Reads[nand.OpMount]; got != 3 {
 		t.Fatalf("mount reads counted = %d, want 3", got)
+	}
+}
+
+// saveFlashV1 writes the retired version-1 flash page section (one state
+// byte per page, then (key, trans) OOB struct pairs) so the compat decoder
+// can be pinned against the real legacy format.
+func saveFlashV1(e *Encoder, fl *nand.Flash) {
+	pages := fl.Geometry().TotalPages()
+	states := make([]byte, pages)
+	for p := 0; p < pages; p++ {
+		states[p] = byte(fl.State(nand.PPN(p)))
+	}
+	e.Blob(states)
+	e.U64(uint64(pages))
+	for p := 0; p < pages; p++ {
+		oob := fl.PageOOB(nand.PPN(p))
+		e.I64(oob.Key)
+		e.Bool(oob.Trans)
+	}
+	s := fl.ExportState()
+	e.U64(uint64(len(s.Erases)))
+	for i := range s.Erases {
+		e.I64(s.Erases[i])
+		e.I64(int64(s.LastMod[i]))
+	}
+	e.U64(uint64(len(s.ChipBusy)))
+	for _, t := range s.ChipBusy {
+		e.I64(int64(t))
+	}
+	saveCounters(e, s.Counters)
+	saveCounters(e, s.Lifetime)
+}
+
+// TestLoadFlashDecodesVersion1 pins the legacy decoder: a version-1 flash
+// section (struct layout) must restore into exactly the same packed state a
+// version-2 section produces, so checkpoint caches written before the
+// format bump keep loading bit-for-bit.
+func TestLoadFlashDecodesVersion1(t *testing.T) {
+	g := nand.Geometry{Channels: 2, Ways: 1, Planes: 1, BlocksPerUnit: 2, PagesPerBlock: 4, PageSize: 4096}
+	fl := nand.MustNewFlash(g, nand.DefaultTiming())
+	var now nand.Time
+	for i, oob := range []nand.OOB{{Key: 11}, {Key: 22, Trans: true}, {Key: 33}} {
+		done, err := fl.Program(nand.PPN(i), oob, now, nand.OpHostData)
+		if err != nil {
+			t.Fatal(err)
+		}
+		now = done
+	}
+	if err := fl.Invalidate(0); err != nil {
+		t.Fatal(err)
+	}
+
+	e := NewEncoder()
+	saveFlashV1(e, fl)
+	d := NewDecoder(e.Data())
+	d.ver = 1
+	got := nand.MustNewFlash(g, nand.DefaultTiming())
+	if err := LoadFlash(d, got); err != nil {
+		t.Fatal(err)
+	}
+	if d.Remaining() != 0 {
+		t.Fatalf("%d bytes left after v1 decode", d.Remaining())
+	}
+
+	// Re-encoding both devices under the current version must agree byte
+	// for byte: the v1 decode landed on the identical packed state.
+	want := NewEncoder()
+	SaveFlash(want, fl)
+	check := NewEncoder()
+	SaveFlash(check, got)
+	if !bytes.Equal(want.Data(), check.Data()) {
+		t.Fatal("v1-decoded flash state diverged from the source device")
+	}
+}
+
+// TestRestoreVersionWindow: Restore accepts the current and the previous
+// format version and rejects anything outside the window.
+func TestRestoreVersionWindow(t *testing.T) {
+	body := func(version uint64) []byte {
+		e := NewEncoder()
+		e.Str(magic)
+		e.U64(version)
+		e.Str("dev")
+		e.Str("fp")
+		e.I64(77) // fakeDevice body (version-independent)
+		buf := e.Data()
+		sum := crc32Sum(buf)
+		return append(buf, sum[:]...)
+	}
+	for _, tc := range []struct {
+		version uint64
+		ok      bool
+	}{{0, false}, {1, true}, {Version, true}, {Version + 1, false}} {
+		dst := &fakeDevice{name: "dev"}
+		err := Restore(dst, "fp", body(tc.version))
+		if (err == nil) != tc.ok {
+			t.Fatalf("Restore of version %d: err=%v, want ok=%v", tc.version, err, tc.ok)
+		}
+		if tc.ok && dst.value != 77 {
+			t.Fatalf("version %d restored value %d", tc.version, dst.value)
+		}
 	}
 }
 

@@ -41,22 +41,26 @@ func ScanOOB(fl *nand.Flash, start nand.Time) ScanResult {
 	geo := fl.Geometry()
 	res := ScanResult{Done: start}
 	ppb := geo.PagesPerBlock
+	var validScratch []nand.PPN
 	for blk := 0; blk < geo.TotalBlocks(); blk++ {
 		wp := fl.BlockWritePtr(blk)
 		if wp == 0 {
 			continue
 		}
 		base := nand.PPN(int64(blk) * int64(ppb))
+		// Every programmed page is read — staleness is only known after the
+		// OOB is in hand, so stale pages cost mount time too.
 		for i := 0; i < wp; i++ {
-			p := base + nand.PPN(i)
-			done := fl.Read(p, start, nand.OpMount)
+			done := fl.Read(base+nand.PPN(i), start, nand.OpMount)
 			if done > res.Done {
 				res.Done = done
 			}
 			res.Scanned++
-			if fl.State(p) != nand.PageValid {
-				continue
-			}
+		}
+		// But only the valid subset yields mappings, and the block's valid
+		// bitmap walks straight to those pages.
+		validScratch = fl.AppendValidPages(blk, validScratch[:0])
+		for _, p := range validScratch {
 			oob := fl.PageOOB(p)
 			if oob.Trans {
 				res.Trans = append(res.Trans, ScanEntry{Key: oob.Key, PPN: p})

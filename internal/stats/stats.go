@@ -443,6 +443,15 @@ type Report struct {
 	Wear        nand.WearStats
 	LifetimeTBW float64
 
+	// ModelBytes is the resident size of the device model's metadata
+	// arrays and ModelBytesPerPage its page-granular share — the memory
+	// the simulator spends per simulated flash page, which bounds how
+	// large a geometry a sweep can hold. Both are filled by AddFootprint,
+	// so the BENCH trajectory captures footprint wins alongside wall
+	// clock.
+	ModelBytes        int64
+	ModelBytesPerPage float64
+
 	Flash nand.OpCounters
 }
 
@@ -455,6 +464,12 @@ func (r *Report) AddWear(w nand.WearStats, endurance int64, physBytes int64) {
 	if r.WriteAmp > 0 && endurance > 0 {
 		r.LifetimeTBW = float64(endurance) * float64(physBytes) / r.WriteAmp / 1e12
 	}
+}
+
+// AddFootprint attaches the device-model memory footprint.
+func (r *Report) AddFootprint(fp nand.Footprint) {
+	r.ModelBytes = fp.TotalBytes
+	r.ModelBytesPerPage = fp.BytesPerPage
 }
 
 // StreamReport is the frozen per-tenant summary of one open-loop run.
