@@ -22,6 +22,7 @@ import (
 
 	"learnedftl/internal/core"
 	"learnedftl/internal/dftl"
+	"learnedftl/internal/fault"
 	"learnedftl/internal/ftl"
 	"learnedftl/internal/gc"
 	"learnedftl/internal/leaftl"
@@ -51,7 +52,15 @@ type (
 	// GCPolicy names a garbage-collection victim-selection policy
 	// (Config.GCPolicy).
 	GCPolicy = gc.Kind
+	// FaultConfig configures the NAND reliability model (Config.Fault):
+	// raw-BER composition, ECC strength and read-retry ladder, program/
+	// erase failure injection and background scrub.
+	FaultConfig = fault.Config
 )
+
+// DefaultFaultConfig returns the reliability model's default parameters
+// (disabled; set Enabled to activate the documented BER and ECC values).
+func DefaultFaultConfig() FaultConfig { return fault.Default() }
 
 // The built-in GC victim-selection policies (see internal/gc).
 const (

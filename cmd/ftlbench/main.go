@@ -90,6 +90,9 @@ func run() int {
 		gcPolicy = flag.String("gc-policy", "", "GC victim-selection policies, comma-separated (greedy | costbenefit | costage); a single value also sets the device policy for every experiment, gcsweep sweeps the listed subset (\"\" = all)")
 		opRatio  = flag.Float64("op-ratio", 0, "gcsweep: single over-provisioning ratio (0 = ladder derived from the device config)")
 
+		faultBER     = flag.Float64("fault-ber", 0, "faultsweep: single raw-BER rung (0 = the built-in decade ladder)")
+		faultSchemes = flag.String("fault-schemes", "", "faultsweep/scrublat: comma-separated scheme subset, e.g. dftl,ideal (\"\" = all five)")
+
 		checkpointDir = flag.String("checkpoint-dir", "", "directory of warm-device checkpoints: cells restore a cached warmed device instead of re-simulating warm-up (tables stay byte-identical); cold cells populate it")
 
 		scaleMinGiB = flag.Float64("scale-min-gib", 0, "scale experiment: smallest geometry rung to run, in GiB (0 = from the tiny device)")
@@ -180,6 +183,8 @@ func run() int {
 	budget.ReadTenantShare = *tenantShare
 	budget.GCPolicies = *gcPolicy
 	budget.OPRatio = *opRatio
+	budget.FaultBER = *faultBER
+	budget.FaultSchemes = *faultSchemes
 	// Only explicit flags override the scale ladder window: the unset 0
 	// must not clobber PaperBudget's 32 GiB cap.
 	if *scaleMinGiB > 0 {

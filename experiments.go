@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"learnedftl/internal/core"
+	"learnedftl/internal/fault"
 	"learnedftl/internal/ftl"
 	"learnedftl/internal/gc"
 	"learnedftl/internal/learned"
@@ -58,6 +59,13 @@ type Budget struct {
 	GCPolicies string  `json:"gc_policies,omitempty"`
 	OPRatio    float64 `json:"op_ratio,omitempty"`
 
+	// Fault-experiment knobs (faultsweep / scrublat). FaultBER narrows
+	// faultsweep's raw-BER ladder to a single rung (0 = the full ladder)
+	// and FaultSchemes comma-selects the schemes swept ("" = all five) —
+	// both exist so a CI smoke cell can pin one rung and two schemes.
+	FaultBER     float64 `json:"fault_ber,omitempty"`
+	FaultSchemes string  `json:"fault_schemes,omitempty"`
+
 	// Scale-experiment knobs. The scale experiment climbs a geometry
 	// ladder from the tiny device up to the paper's 32 GiB one;
 	// ScaleMaxGiB caps the ladder (0 = a 2 GiB default that keeps quick
@@ -93,6 +101,32 @@ func (b Budget) gcPolicyList() ([]gc.Kind, error) {
 				name, gc.Kinds())
 		}
 		out = append(out, k)
+	}
+	return out, nil
+}
+
+// faultSchemeList resolves the budget's scheme subset for the fault
+// experiments, erroring on typos so a misspelled scheme never silently
+// collapses the sweep.
+func (b Budget) faultSchemeList() ([]Scheme, error) {
+	if b.FaultSchemes == "" {
+		return Schemes(), nil
+	}
+	var out []Scheme
+	for _, s := range strings.Split(b.FaultSchemes, ",") {
+		name := strings.TrimSpace(s)
+		found := false
+		for _, sch := range Schemes() {
+			if strings.EqualFold(sch.String(), name) {
+				out = append(out, sch)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("learnedftl: unknown scheme %q (want a subset of %v)",
+				name, Schemes())
+		}
 	}
 	return out, nil
 }
@@ -271,6 +305,7 @@ func report(f FTL, res sim.Result) stats.Report {
 		res.Makespan(), cfg.Geometry.PageSize, cfg.Energy)
 	r.AddWear(f.Flash().Wear(), cfg.BlockEndurance, cfg.Geometry.TotalBytes())
 	r.AddFootprint(f.Flash().Footprint())
+	r.AddReliability(f.Flash().RelCounters(), f.Flash().BadBlocks(), cfg.Geometry.PageSize)
 	return r
 }
 
@@ -1304,6 +1339,244 @@ func ScaleExp(cfg Config, b Budget) (Table, error) {
 	}, nil
 }
 
+// faultBERLadder is the faultsweep raw-BER ladder. The rungs bracket the
+// default ECC strength (40 bits over a 4KB codeword, two retry steps at
+// x0.5): the low rungs correct cleanly, the middle ones climb the retry
+// ladder, and the top rungs defeat it, so UBER rises monotonically from
+// zero to saturation.
+var faultBERLadder = []float64{1e-4, 1e-3, 3e-3, 6e-3, 1e-2}
+
+// faultSweepConfig is one faultsweep rung: the default reliability model
+// with the raw BER pinned and background scrub enabled. Program/erase
+// failure injection (the bad-block column) is only wired for the
+// Base-embedding schemes; LearnedFTL's group-granular FTL supports the
+// read-path model alone and rejects grown-defect injection.
+func faultSweepConfig(ber float64, s Scheme) fault.Config {
+	fc := fault.Default()
+	fc.Enabled = true
+	fc.BaseBER = ber
+	fc.Scrub = true
+	if s != SchemeLearnedFTL {
+		fc.ProgramFailProb = 2e-4
+		fc.EraseFailProb = 2e-3
+	}
+	return fc
+}
+
+// sci formats reliability rates (UBER, BER) in scientific notation.
+func sci(v float64) string { return fmt.Sprintf("%.2e", v) }
+
+// FaultSweep measures end-to-end reliability vs raw bit error rate: every
+// scheme runs a mixed open-loop workload (70% reads / 30% writes, idle-gap
+// background GC + scrub active) at each rung of a raw-BER ladder, reporting
+// achieved throughput, tail latency (read retries add timing-class delays),
+// ECC retry traffic, the uncorrectable-bit error rate, scrub-driven refresh
+// traffic and its write amplification. Budget.FaultBER pins a single rung
+// and Budget.FaultSchemes narrows the scheme set (CI smoke cells).
+func FaultSweep(cfg Config, b Budget) (Table, error) {
+	kind, err := b.openLoopKind()
+	if err != nil {
+		return Table{}, err
+	}
+	schemes, err := b.faultSchemeList()
+	if err != nil {
+		return Table{}, err
+	}
+	bers := faultBERLadder
+	if b.FaultBER > 0 {
+		bers = []float64{b.FaultBER}
+	}
+	threads := b.Threads
+	if threads < 2 {
+		threads = 2
+	}
+	rows := make([][]string, len(schemes)*len(bers))
+	err = runCells(b, len(rows), func(i int) error {
+		si, bi := i/len(bers), i%len(bers)
+		fcfg := cfg
+		fcfg.Fault = faultSweepConfig(bers[bi], schemes[si])
+		f, err := newWarmed(schemes[si], fcfg, b)
+		if err != nil {
+			return err
+		}
+		rate := b.OfferedIOPS
+		if rate <= 0 {
+			// Saturation probe on this very device (the GCLat idiom):
+			// writes are the slow half of the mix, so half the closed-loop
+			// randwrite rate lands the whole mix below the knee with idle
+			// gaps left for the scrubber. Retries slow the probe too, so
+			// the operating point self-scales with the rung's BER.
+			probe := measureFIO(f, workload.RandWrite, threads, 1, b.Requests/2)
+			rate = 0.5 * probe.IOPS
+		}
+		spt := threads / 2
+		per := b.Requests / threads
+		if per < 1 {
+			per = 1
+		}
+		lp := f.Config().LogicalPages()
+		streams := append(
+			workload.OpenFIO("randread", workload.RandRead, lp, 1, spt, per, kind, 0.7*rate, 3331),
+			workload.OpenFIO("randwrite", workload.RandWrite, lp, 1, spt, per, kind, 0.3*rate, 3433)...)
+		r := measureOpenWith(f, streams, true)
+		refreshWA := "-"
+		if hw := r.Flash.Programs[nand.OpHostData]; hw > 0 {
+			refreshWA = f2(float64(r.RefreshPages) / float64(hw))
+		}
+		rows[i] = []string{
+			schemes[si].String(), sci(bers[bi]), f0(r.IOPS),
+			lat(r.P99), lat(r.P999),
+			fmt.Sprint(r.Rel.Retries), fmt.Sprint(r.Rel.HostUncorrectable), sci(r.UBER),
+			fmt.Sprint(r.RefreshPages), refreshWA, fmt.Sprint(r.GrownBadBlocks),
+		}
+		return nil
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	return Table{
+		Title:  "Fault sweep: reliability vs raw BER, mixed open-loop 70r/30w with background scrub (refresh WA = scrub rewrites per host-written page)",
+		Header: []string{"FTL", "raw BER", "IOPS", "p99", "p99.9", "retries", "uncorr", "UBER", "refresh pg", "refresh WA", "bad blk"},
+		Rows:   rows,
+	}, nil
+}
+
+var scrubModes = []string{"off", "on"}
+
+// scrubLatConfig is scrublat's initial reliability model: a clean base BER
+// with no retry ladder (the ECC threshold alone separates correctable from
+// data loss) and a scrub threshold at 60% of it. The warm-up and the rate
+// probe run under this benign model — nothing flags, nothing fails.
+// Retention aging is installed per cell after the post-warm shelf bake —
+// see scrubLatAge.
+func scrubLatConfig(scrub bool) fault.Config {
+	fc := fault.Default()
+	fc.Enabled = true
+	fc.Scrub = scrub
+	fc.BaseBER = 2e-4
+	fc.WearBER = 0
+	fc.RetentionBERPerSec = 0
+	fc.DisturbBER = 0
+	fc.RetrySteps = 0
+	fc.ScrubAtFraction = 0.6
+	return fc
+}
+
+// scrubLatAge returns scrubLatConfig with a retention ramp anchored to the
+// shelf bake, calibrated against the ECC threshold (lethal = the BER that
+// is uncorrectable even at the minimum jitter draw):
+//
+//   - A page that sat through the bake enters the measured window at
+//     0.7·lethal — above the 0.6·lethal scrub flag (its first read queues
+//     the block for refresh) but below uncorrectable at any jitter draw.
+//     Nothing is lost yet; everything warm-written is at risk.
+//   - The ramp keeps running during the window. With the bake set to the
+//     window's own length, unscrubbed pages cross certain-lethal at ~54%
+//     of the window: scrub off, the back half of the hot reads is data
+//     loss. Scrub on, a refreshed page restarts from BaseBER and cannot
+//     climb back past even the flag point before the run ends.
+func scrubLatAge(fc fault.Config, cfg Config, bake nand.Time) fault.Config {
+	cwBits := float64(cfg.Geometry.PageSize) * 8
+	lethal := float64(fc.ECCBits) / (cwBits * 0.9) // uncorrectable even at minimum jitter
+	secs := float64(bake) / float64(nand.Second)
+	if secs > 0 {
+		fc.RetentionBERPerSec = (0.7*lethal - fc.BaseBER) / secs
+	}
+	return fc
+}
+
+// ScrubLat measures what background scrub buys: every scheme reads a small
+// hot working set — striped by the sequential fill across every chip's
+// first-written block — open-loop at equal offered load, scrub off vs on.
+// The hot blocks enter the window at-risk (flagged on first read, still
+// correctable) and the retention ramp pushes unscrubbed pages over the ECC
+// threshold mid-window. Off, the back half of the hot reads is
+// host-visible data loss. On, the first reads queue the stripe and the
+// idle-gap scrubber rewrites it in time, so loss collapses to the reads
+// that land after a block turns and before its refresh — at the cost of
+// refresh traffic and scrub interference in the tails. The hot set is
+// deliberately a few blocks' worth: a working set wider than the
+// scrubber's idle-gap bandwidth could never be defended at any rate.
+// LearnedFTL has no block-level scrub path, so its two rows match.
+func ScrubLat(cfg Config, b Budget) (Table, error) {
+	kind, err := b.openLoopKind()
+	if err != nil {
+		return Table{}, err
+	}
+	schemes, err := b.faultSchemeList()
+	if err != nil {
+		return Table{}, err
+	}
+	threads := b.Threads
+	if threads < 1 {
+		threads = 1
+	}
+	rows := make([][]string, len(schemes)*len(scrubModes))
+	err = runCells(b, len(rows), func(i int) error {
+		si, mi := i/len(scrubModes), i%len(scrubModes)
+		fcfg := cfg
+		fcfg.Fault = scrubLatConfig(mi == 1)
+		// Sequential-fill warm only (no random overwrite passes): the hot
+		// LPNs must still live in the handful of first-written blocks, not
+		// scattered over whatever blocks the overwrite pass left active.
+		bs := b
+		bs.WarmExtra = 0
+		f, err := newWarmed(schemes[si], fcfg, bs)
+		if err != nil {
+			return err
+		}
+		lp := f.Config().LogicalPages()
+		hot := int64(4 * cfg.Geometry.PagesPerBlock)
+		if hot > lp {
+			hot = lp
+		}
+		per := b.Requests / threads
+		if per < 1 {
+			per = 1
+		}
+		rate := b.OfferedIOPS
+		if rate <= 0 {
+			// Rate probe, under the still-benign model: closed-loop reads
+			// of the hot set on this very device — deterministic, so the
+			// off and on cells derive the same operating point. The tiny
+			// fraction is load-bearing: the sequential fill striped the
+			// hot LPNs across every chip's first block, so the scrubber
+			// must refresh a whole stripe of blocks — around a second of
+			// chip time — out of idle gaps before the retention ramp
+			// turns them lethal mid-window.
+			probe := measure(f, workload.FIO(workload.RandRead, hot, 1, threads, per/2+1, 7))
+			rate = 0.008 * probe.IOPS
+		}
+		// Shelf-bake the device for one window length — every warm write
+		// enters the window at-risk but not yet lost (see scrubLatAge) —
+		// then swap in the retention ramp anchored to that bake. Physical
+		// state (ages, read counts) is untouched; only the clock and the
+		// BER mapping change.
+		bake := nand.Time(float64(int64(threads)*int64(per)) / rate * float64(nand.Second))
+		f.Flash().AdvanceIdle(bake)
+		fc := scrubLatAge(fcfg.Fault, cfg, bake)
+		f.Flash().SetFaultModel(fault.New(fc, int64(cfg.Geometry.PageSize)*8))
+		streams := workload.OpenFIO("hotread", workload.RandRead,
+			hot, 1, threads, per, kind, rate, 4447)
+		r := measureOpenWith(f, streams, true)
+		rows[i] = []string{
+			schemes[si].String(), scrubModes[mi], f0(rate), f0(r.IOPS),
+			lat(r.P99), lat(r.P999),
+			fmt.Sprint(r.Rel.HostUncorrectable), sci(r.UBER),
+			fmt.Sprint(r.ScrubCount), fmt.Sprint(r.RefreshPages),
+		}
+		return nil
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	return Table{
+		Title:  "Scrub latency: hot-set reads of retention-aged blocks, background scrub off vs on (uncorr = host-visible data loss)",
+		Header: []string{"FTL", "scrub", "offered IOPS", "IOPS", "p99", "p99.9", "uncorr", "UBER", "scrubs", "refresh pg"},
+		Rows:   rows,
+	}, nil
+}
+
 // ExperimentInfo describes one runnable experiment for the registry and
 // the ftlbench -list table.
 type ExperimentInfo struct {
@@ -1336,6 +1609,8 @@ func ExperimentList() []ExperimentInfo {
 		{"gcsweep", "write amplification and wear vs over-provisioning x GC policy", GCSweep},
 		{"gclat", "open-loop write tails: foreground vs background GC", GCLat},
 		{"mountlat", "OOB crash-recovery scan latency vs device fill", MountLat},
+		{"faultsweep", "UBER, tails and refresh WA vs raw bit error rate", FaultSweep},
+		{"scrublat", "read-disturb data loss and tails, background scrub off vs on", ScrubLat},
 		{"scale", "geometry ladder tiny -> paper: warm-up cost, steady IOPS, model footprint", ScaleExp},
 	}
 }

@@ -13,6 +13,7 @@ package core
 import (
 	"fmt"
 
+	"learnedftl/internal/fault"
 	"learnedftl/internal/ftl"
 	"learnedftl/internal/gc"
 	"learnedftl/internal/learned"
@@ -178,6 +179,17 @@ func New(cfg ftl.Config, opt Options) (*LearnedFTL, error) {
 	fl, err := nand.NewFlash(g, cfg.Timing)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Fault.Enabled {
+		// The group-granular FTL relocates whole superblock rows and has no
+		// per-block retirement path, so grown program/erase defects cannot be
+		// remapped here; only the read-path model (BER, ECC retry, UBER
+		// accounting) is supported. Scrub flags still accumulate in the flash
+		// array's queue but no background scrubber drains them.
+		if cfg.Fault.ProgramFailProb > 0 || cfg.Fault.EraseFailProb > 0 {
+			return nil, fmt.Errorf("core: program/erase fault injection is not supported by the group-granular FTL (read-path faults only)")
+		}
+		fl.SetFaultModel(fault.New(cfg.Fault, int64(g.PageSize)*8))
 	}
 	l2p := make([]nand.PPN, lp)
 	for i := range l2p {

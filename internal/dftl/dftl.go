@@ -79,6 +79,10 @@ func (d *DFTL) WritePages(lpn int64, n int, now nand.Time) nand.Time {
 	for k := 0; k < n; k++ {
 		l := lpn + int64(k)
 		ppn, done := d.HostProgram(l, now)
+		if ppn == nand.InvalidPPN {
+			// Device failed (no space even after GC): drop the write.
+			return done
+		}
 		d.cmt.Insert(l, ppn, true)
 		done = d.drainEvictions(done)
 		if done > end {

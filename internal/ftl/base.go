@@ -1,8 +1,10 @@
 package ftl
 
 import (
+	"errors"
 	"fmt"
 
+	"learnedftl/internal/fault"
 	"learnedftl/internal/gc"
 	"learnedftl/internal/mapping"
 	"learnedftl/internal/nand"
@@ -90,6 +92,9 @@ func NewBase(cfg Config) (*Base, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Fault.Enabled {
+		fl.SetFaultModel(fault.New(cfg.Fault, int64(cfg.Geometry.PageSize)*8))
+	}
 	pol, err := gc.NewPolicy(cfg.GCPolicy)
 	if err != nil {
 		return nil, err
@@ -161,21 +166,55 @@ func (b *Base) mustProgram(p nand.PPN, oob nand.OOB, after nand.Time, kind nand.
 // HostProgram writes one host data page: it reclaims space if needed,
 // allocates on the least-busy chip, programs, and maintains the shadow map.
 // It returns the new PPN and the completion time.
+//
+// Two failure modes degrade gracefully instead of panicking. A grown-defect
+// program failure retires the bad block, drains its surviving valid pages
+// and retries on another chip — each retry consumes one block, so the loop
+// terminates. A true allocation failure (the device is overcommitted, or
+// bad-block growth ate the over-provisioning) latches the device-failed
+// state on the collector and drops the write: the returned PPN is
+// InvalidPPN and the mapping is unchanged.
 func (b *Base) HostProgram(lpn int64, after nand.Time) (nand.PPN, nand.Time) {
 	now := b.RunGC(after)
-	ppn, ok := b.BM.AllocPage(false)
-	if !ok {
-		panic(fmt.Sprintf("ftl: allocation failed after GC (free=%d, gc err: %v)",
-			b.BM.FreeBlocks(), b.GC.LastErr()))
-	}
-	done := b.mustProgram(ppn, nand.OOB{Key: lpn}, now, nand.OpHostData)
-	if old := b.L2P[lpn]; old != nand.InvalidPPN {
-		if err := b.Fl.Invalidate(old); err != nil {
-			panic(fmt.Sprintf("ftl: %v", err))
+	for {
+		ppn, ok := b.BM.AllocPage(false)
+		if !ok {
+			b.Col.RecordDeviceFailure(fmt.Sprintf(
+				"host allocation failed after GC (free=%d, bad=%d, gc err: %v)",
+				b.BM.FreeBlocks(), b.Fl.BadBlocks(), b.GC.LastErr()))
+			return nand.InvalidPPN, now
 		}
+		done, err := b.Fl.Program(ppn, nand.OOB{Key: lpn}, now, nand.OpHostData)
+		if err != nil {
+			now = b.retireFailed(ppn, done, err)
+			continue
+		}
+		if old := b.L2P[lpn]; old != nand.InvalidPPN {
+			if e := b.Fl.Invalidate(old); e != nil {
+				panic(fmt.Sprintf("ftl: %v", e))
+			}
+		}
+		b.L2P[lpn] = ppn
+		return ppn, done
 	}
-	b.L2P[lpn] = ppn
-	return ppn, done
+}
+
+// retireFailed handles a grown-defect program failure at ppn: the block is
+// retired from circulation and its surviving valid pages are drained by an
+// immediate targeted collection — or, when the failure struck inside a
+// collection's translation maintenance, by the background scrub source
+// later (a collection cannot nest).
+func (b *Base) retireFailed(p nand.PPN, done nand.Time, err error) nand.Time {
+	if !errors.Is(err, nand.ErrProgramFailed) {
+		panic(fmt.Sprintf("ftl: %v", err))
+	}
+	bid := b.Codec.BlockID(p)
+	b.BM.Retire(bid)
+	if t, ok := b.GC.CollectBlock(bid, done); ok {
+		return t
+	}
+	b.Fl.QueueScrub(bid)
+	return done
 }
 
 // TrimPages implements the FTL TRIM path for every Base-embedding scheme:
@@ -226,26 +265,37 @@ func (b *Base) UpdateTrans(tpn int, doRead bool, after nand.Time) nand.Time {
 	}
 	// Translation maintenance fired from inside a collection (relocation
 	// hooks) is part of GC and may use the reserved free block; ordinary
-	// host-path updates must leave it for GC.
-	var ppn nand.PPN
-	var ok bool
-	if b.GC.InGC() {
-		ppn, ok = b.BM.AllocGCPage(true)
-	} else {
-		ppn, ok = b.BM.AllocPage(true)
-	}
-	if !ok {
-		panic(fmt.Sprintf("ftl: translation allocation failed after GC (free=%d, gc err: %v)",
-			b.BM.FreeBlocks(), b.GC.LastErr()))
-	}
-	now = b.mustProgram(ppn, nand.OOB{Key: int64(tpn), Trans: true}, now, nand.OpTranslation)
-	if old != nand.InvalidPPN {
-		if err := b.Fl.Invalidate(old); err != nil {
-			panic(fmt.Sprintf("ftl: %v", err))
+	// host-path updates must leave it for GC. Failure handling mirrors
+	// HostProgram: grown-defect failures retire and retry, allocation
+	// failure latches the device-failed state and leaves the old version
+	// (still readable) in place.
+	for {
+		var ppn nand.PPN
+		var ok bool
+		if b.GC.InGC() {
+			ppn, ok = b.BM.AllocGCPage(true)
+		} else {
+			ppn, ok = b.BM.AllocPage(true)
 		}
+		if !ok {
+			b.Col.RecordDeviceFailure(fmt.Sprintf(
+				"translation allocation failed after GC (free=%d, bad=%d, gc err: %v)",
+				b.BM.FreeBlocks(), b.Fl.BadBlocks(), b.GC.LastErr()))
+			return now
+		}
+		done, err := b.Fl.Program(ppn, nand.OOB{Key: int64(tpn), Trans: true}, now, nand.OpTranslation)
+		if err != nil {
+			now = b.retireFailed(ppn, done, err)
+			continue
+		}
+		if old != nand.InvalidPPN {
+			if e := b.Fl.Invalidate(old); e != nil {
+				panic(fmt.Sprintf("ftl: %v", e))
+			}
+		}
+		b.GTD.Update(tpn, ppn)
+		return done
 	}
-	b.GTD.Update(tpn, ppn)
-	return now
 }
 
 // RunGC performs foreground garbage collection until the free-block pool is
@@ -257,7 +307,36 @@ func (b *Base) RunGC(now nand.Time) nand.Time {
 }
 
 // BackgroundGC implements BackgroundCollector by delegating to the
-// controller's idle-gap collection.
+// controller's idle-gap collection, then draining the scrub queue — the
+// at-risk blocks the fault model flagged — in whatever gap remains.
 func (b *Base) BackgroundGC(start, deadline nand.Time) nand.Time {
-	return b.GC.Background(start, deadline)
+	// Scrub first: the at-risk queue is bounded and drains, while the
+	// free-pool top-up below can want every idle nanosecond the run has —
+	// ordered the other way, refreshes would starve behind routine GC and
+	// at-risk blocks would sit unscrubbed until they turn uncorrectable.
+	now := start
+	if b.Cfg.Fault.Enabled && b.Cfg.Fault.Scrub {
+		now = b.scrub(now, deadline)
+	}
+	return b.GC.Background(now, deadline)
+}
+
+// scrub rewrites at-risk blocks during the idle gap: each popped block is
+// collected (relocate valid pages, erase), which resets its read-disturb
+// count and retention age. New scrubs launch only before the deadline;
+// active write blocks are skipped and re-flag once they disturb further.
+func (b *Base) scrub(now, deadline nand.Time) nand.Time {
+	for now < deadline {
+		blk := b.Fl.PopScrubBlock()
+		if blk < 0 {
+			break
+		}
+		if b.BM.IsActive(blk) {
+			continue
+		}
+		if t, ok := b.GC.ScrubBlock(blk, now); ok {
+			now = t
+		}
+	}
+	return now
 }

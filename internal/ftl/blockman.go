@@ -179,6 +179,24 @@ func (b *BlockMan) allocOn(chip int, trans bool) (nand.PPN, bool) {
 	return base + nand.PPN(pg), true
 }
 
+// Retire removes a grown bad block from circulation: if it is an active
+// write block the slot is closed (the next allocation opens a fresh block),
+// and it never returns to the free pool — usable capacity degrades by one
+// block. The caller is responsible for relocating any valid pages still in
+// the block; free stacks never contain bad blocks because retired blocks
+// are never Released.
+func (b *BlockMan) Retire(blockID int) {
+	chip := b.codec.Chip(b.codec.Encode(b.codec.BlockAddr(blockID)))
+	if b.activeData[chip] == blockID {
+		b.activeData[chip] = -1
+		b.notifyActive(blockID)
+	}
+	if b.activeTrans[chip] == blockID {
+		b.activeTrans[chip] = -1
+		b.notifyActive(blockID)
+	}
+}
+
 // Release returns an erased block to the free pool.
 func (b *BlockMan) Release(blockID int) {
 	chip := b.codec.Chip(b.codec.Encode(b.codec.BlockAddr(blockID)))

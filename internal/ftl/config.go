@@ -8,6 +8,7 @@ package ftl
 import (
 	"fmt"
 
+	"learnedftl/internal/fault"
 	"learnedftl/internal/gc"
 	"learnedftl/internal/nand"
 	"learnedftl/internal/stats"
@@ -70,6 +71,12 @@ type Config struct {
 	// GroupSuperblocks is the number of superblocks a GTD entry group may
 	// accumulate before group GC triggers (LearnedFTL).
 	GroupSuperblocks int
+
+	// Fault configures the NAND reliability model (internal/fault): BER vs
+	// wear/retention/read-disturb, ECC read-retry, program/erase failure
+	// injection and background scrub. The zero value disables it, keeping
+	// every flash path bit-identical to the ideal-NAND device.
+	Fault fault.Config
 }
 
 // DefaultConfig returns the paper's configuration at the given geometry.
@@ -152,6 +159,9 @@ func (c Config) Validate() error {
 	}
 	if _, ok := gc.ParseKind(string(c.GCPolicy)); !ok {
 		return fmt.Errorf("ftl: unknown GC policy %q (want one of %v)", c.GCPolicy, gc.Kinds())
+	}
+	if err := c.Fault.Validate(); err != nil {
+		return err
 	}
 	return nil
 }

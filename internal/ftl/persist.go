@@ -38,6 +38,7 @@ func (b *Base) SaveBaseState(e *persist.Encoder) {
 	e.I64(st.Background)
 	e.I64(st.PagesMoved)
 	e.I64(st.Aborted)
+	e.I64(st.Scrubbed) // version 3
 }
 
 // LoadBaseState restores a SaveBaseState section into a freshly
@@ -59,12 +60,16 @@ func (b *Base) LoadBaseState(d *persist.Decoder) error {
 	// index's active set (the flash import already marked every block
 	// dirty).
 	b.GC.Resync()
-	b.GC.ImportStats(gc.Stats{
+	st := gc.Stats{
 		Foreground: d.I64(),
 		Background: d.I64(),
 		PagesMoved: d.I64(),
 		Aborted:    d.I64(),
-	})
+	}
+	if d.Version() >= 3 {
+		st.Scrubbed = d.I64()
+	}
+	b.GC.ImportStats(st)
 	return d.Err()
 }
 
@@ -172,6 +177,12 @@ func (b *BlockMan) RebuildFromFlash() {
 		b.activeTrans[chip] = -1
 		for i := blocksPerChip - 1; i >= 0; i-- {
 			blk := chip*blocksPerChip + i
+			if b.f.BlockBad(blk) {
+				// Grown bad blocks stay out of circulation across a crash:
+				// neither free nor active. Any stranded valid pages remain
+				// readable and re-flag for scrub on their next read.
+				continue
+			}
 			wp := b.f.BlockWritePtr(blk)
 			switch {
 			case wp == 0:

@@ -34,6 +34,10 @@ type Allocator interface {
 	AllocGCPageOnChip(chip int, trans bool) (nand.PPN, bool)
 	// Release returns an erased block to the free pool.
 	Release(blockID int)
+	// Retire removes a grown bad block from circulation: closed if active,
+	// never freed. The controller calls it instead of Release when a victim
+	// goes bad, and for relocation targets that fail mid-collection.
+	Retire(blockID int)
 	// FreeBlocks is the device-wide free-block count the watermarks gate on.
 	FreeBlocks() int
 	// IsActive reports whether a block is an active write block (active
@@ -64,10 +68,13 @@ type Stats struct {
 	Foreground int64
 	// Background counts idle-gap collections from the open-loop engine.
 	Background int64
-	// PagesMoved counts relocated valid pages across both modes.
+	// PagesMoved counts relocated valid pages across all modes.
 	PagesMoved int64
 	// Aborted counts collections that stopped early on ErrNoSpace.
 	Aborted int64
+	// Scrubbed counts background scrub collections (at-risk block
+	// rewrites driven by the fault model's risk queue).
+	Scrubbed int64
 }
 
 // Controller owns garbage collection for one device: the victim-selection
@@ -240,7 +247,7 @@ func (c *Controller) VictimLinearScan(now nand.Time) int {
 	var bestScore float64
 	for blk := 0; blk < g.TotalBlocks(); blk++ {
 		wp := c.fl.BlockWritePtr(blk)
-		if wp == 0 || c.alloc.IsActive(blk) {
+		if wp == 0 || c.alloc.IsActive(blk) || c.fl.BlockBad(blk) {
 			continue
 		}
 		v := c.fl.BlockValid(blk)
@@ -279,16 +286,63 @@ func (c *Controller) CollectOnce(now nand.Time) (nand.Time, bool) {
 	return c.collectOnce(now, false)
 }
 
-// collectOnce collects one victim block: policy selection, relocation of
-// every valid page, erase, release, host finalize, accounting. ok is false
-// when no victim qualifies or the collection aborted on ErrNoSpace (the
-// pages moved before the abort remain fully coherent; the victim is simply
-// not erased).
+// collectMode classifies a collection for accounting: foreground and
+// background follow the watermark triggers; scrub collections come from
+// the fault model's at-risk queue and are tallied separately so refresh
+// traffic is distinguishable from reclamation.
+type collectMode uint8
+
+const (
+	modeForeground collectMode = iota
+	modeBackground
+	modeScrub
+)
+
+// CollectBlock collects one explicitly chosen block, bypassing policy
+// selection: relocate every valid page, erase, and release — or retire, if
+// the block is (or goes) bad. The FTL uses it to drain a freshly retired
+// bad block's surviving valid pages. ok is false when a collection is
+// already running, the block is an active write block, or it holds nothing
+// (an erased block needs no collection and must not be double-released).
+func (c *Controller) CollectBlock(blockID int, now nand.Time) (nand.Time, bool) {
+	return c.collectTarget(blockID, now, modeForeground)
+}
+
+// ScrubBlock is CollectBlock with scrub accounting: the rewrite resets the
+// block's read-disturb count and retention age, which is the refresh that
+// prevents uncorrectable errors.
+func (c *Controller) ScrubBlock(blockID int, now nand.Time) (nand.Time, bool) {
+	return c.collectTarget(blockID, now, modeScrub)
+}
+
+func (c *Controller) collectTarget(blockID int, now nand.Time, mode collectMode) (nand.Time, bool) {
+	if c.inGC || blockID < 0 || c.alloc.IsActive(blockID) ||
+		c.fl.BlockWritePtr(blockID) == 0 {
+		return now, false
+	}
+	return c.collect(blockID, now, mode)
+}
+
+// collectOnce collects one policy-selected victim block. ok is false when
+// no victim qualifies or the collection aborted on ErrNoSpace (the pages
+// moved before the abort remain fully coherent; the victim is simply not
+// erased).
 func (c *Controller) collectOnce(now nand.Time, background bool) (nand.Time, bool) {
 	victim := c.Victim(now)
 	if victim < 0 {
 		return now, false
 	}
+	mode := modeForeground
+	if background {
+		mode = modeBackground
+	}
+	return c.collect(victim, now, mode)
+}
+
+// collect relocates every valid page out of victim, erases it and returns
+// it to circulation (free pool, or the bad-block list if it went bad),
+// then runs host finalize and accounting.
+func (c *Controller) collect(victim int, now nand.Time, mode collectMode) (nand.Time, bool) {
 	c.inGC = true
 	defer func() { c.inGC = false }()
 
@@ -319,32 +373,37 @@ func (c *Controller) collectOnce(now nand.Time, background bool) (nand.Time, boo
 	for _, p := range pages {
 		readDone := c.fl.Read(p.ppn, now, nand.OpGC)
 		var np nand.PPN
-		var ok bool
-		if sorted {
-			np, ok = c.alloc.AllocGCPage(p.oob.Trans)
-		} else {
-			np, ok = c.alloc.AllocGCPageOnChip(victimChip, p.oob.Trans)
-		}
-		if !ok {
-			// Graceful abort: the pages moved so far are coherent, the
-			// victim keeps its remaining valid pages and is not erased.
-			// The partial relocation still did real work, so it is
-			// accounted like a collection (the flash OpGC counters already
-			// grew by `relocated` programs).
-			c.lastErr = fmt.Errorf("%w (victim=%d valid=%d free=%d)",
-				ErrNoSpace, victim, len(pages), c.alloc.FreeBlocks())
-			c.stats.Aborted++
-			t = c.host.Finalize(moved, t)
-			c.movedBuf = moved[:0]
-			c.stats.PagesMoved += int64(relocated)
-			c.col.RecordGC(now, relocated, t-now)
-			cnt := c.fl.Counters()
-			c.col.RecordWASample(t, cnt.TotalPrograms())
-			return t, false
-		}
-		done, err := c.fl.Program(np, p.oob, readDone, nand.OpGC)
-		if err != nil {
-			panic(fmt.Sprintf("gc: %v", err))
+		var done nand.Time
+		for {
+			var ok bool
+			if sorted {
+				np, ok = c.alloc.AllocGCPage(p.oob.Trans)
+			} else {
+				np, ok = c.alloc.AllocGCPageOnChip(victimChip, p.oob.Trans)
+			}
+			if !ok {
+				return c.abort(victim, len(pages), relocated, moved, now, t, mode), false
+			}
+			var err error
+			done, err = c.fl.Program(np, p.oob, readDone, nand.OpGC)
+			if err == nil {
+				break
+			}
+			if !errors.Is(err, nand.ErrProgramFailed) {
+				// Not a device fault: a simulator invariant broke.
+				panic(fmt.Sprintf("gc: %v", err))
+			}
+			// The relocation target grew a defect mid-collection. Retire
+			// it and retry this page elsewhere; the target's already-moved
+			// pages stay valid inside the now-bad block, so queue it for
+			// the scrub source to drain once this collection is over (a
+			// collection cannot nest).
+			bad := c.codec.BlockID(np)
+			c.alloc.Retire(bad)
+			c.fl.QueueScrub(bad)
+			if done > t {
+				t = done
+			}
 		}
 		if done > t {
 			t = done
@@ -363,19 +422,53 @@ func (c *Controller) collectOnce(now nand.Time, background bool) (nand.Time, boo
 		panic(fmt.Sprintf("gc: %v", err))
 	}
 	t = eraseDone
-	c.alloc.Release(victim)
+	if c.fl.BlockBad(victim) {
+		// The erase failed (or the victim was a retired block being
+		// drained): it never rejoins the free pool.
+		c.alloc.Retire(victim)
+	} else {
+		c.alloc.Release(victim)
+	}
 	t = c.host.Finalize(moved, t)
 	c.movedBuf = moved[:0]
 	c.lastErr = nil
 	c.stats.PagesMoved += int64(len(pages))
-	if background {
+	switch mode {
+	case modeScrub:
+		c.stats.Scrubbed++
+		c.col.RecordScrub(len(pages), t-now)
+	case modeBackground:
 		c.stats.Background++
 		c.col.RecordBGGC()
-	} else {
+		c.col.RecordGC(now, len(pages), t-now)
+	default:
 		c.stats.Foreground++
+		c.col.RecordGC(now, len(pages), t-now)
 	}
-	c.col.RecordGC(now, len(pages), t-now)
 	cnt := c.fl.Counters()
 	c.col.RecordWASample(t, cnt.TotalPrograms())
 	return t, true
+}
+
+// abort ends a collection that could not claim a relocation target: the
+// pages moved so far are coherent, the victim keeps its remaining valid
+// pages and is not erased. The partial relocation still did real work, so
+// it is accounted like a collection (the flash OpGC counters already grew
+// by `relocated` programs).
+func (c *Controller) abort(victim, total, relocated int, moved []int64,
+	now, t nand.Time, mode collectMode) nand.Time {
+	c.lastErr = fmt.Errorf("%w (victim=%d valid=%d free=%d)",
+		ErrNoSpace, victim, total, c.alloc.FreeBlocks())
+	c.stats.Aborted++
+	t = c.host.Finalize(moved, t)
+	c.movedBuf = moved[:0]
+	c.stats.PagesMoved += int64(relocated)
+	if mode == modeScrub {
+		c.col.RecordScrub(relocated, t-now)
+	} else {
+		c.col.RecordGC(now, relocated, t-now)
+	}
+	cnt := c.fl.Counters()
+	c.col.RecordWASample(t, cnt.TotalPrograms())
+	return t
 }

@@ -11,7 +11,16 @@ import (
 func testFlash(t *testing.T) *nand.Flash {
 	t.Helper()
 	g := nand.Geometry{Channels: 2, Ways: 2, Planes: 1, BlocksPerUnit: 4, PagesPerBlock: 8, PageSize: 4096}
-	return nand.MustNewFlash(g, nand.DefaultTiming())
+	return mustFlash(g)
+}
+
+// mustFlash is the test-only shorthand for geometries built inline.
+func mustFlash(g nand.Geometry) *nand.Flash {
+	fl, err := nand.NewFlash(g, nand.DefaultTiming())
+	if err != nil {
+		panic(err)
+	}
+	return fl
 }
 
 func TestParseKind(t *testing.T) {
@@ -127,7 +136,12 @@ func (a *fakeAlloc) AllocGCPage(trans bool) (nand.PPN, bool) { return a.take(tra
 func (a *fakeAlloc) AllocGCPageOnChip(_ int, trans bool) (nand.PPN, bool) {
 	return a.take(trans)
 }
-func (a *fakeAlloc) Release(b int)       { a.free = append(a.free, b) }
+func (a *fakeAlloc) Release(b int) { a.free = append(a.free, b) }
+func (a *fakeAlloc) Retire(b int) {
+	if a.active == b {
+		a.setActive(-1)
+	}
+}
 func (a *fakeAlloc) FreeBlocks() int     { return len(a.free) }
 func (a *fakeAlloc) IsActive(b int) bool { return b == a.active }
 

@@ -152,7 +152,7 @@ func (x *victimIndex) reloadLeaf(b int) {
 	n := &x.nodes[x.size+b]
 	wp := x.fl.BlockWritePtr(b)
 	v := x.fl.BlockValid(b)
-	if wp == 0 || v >= wp || x.active[b] {
+	if wp == 0 || v >= wp || x.active[b] || x.fl.BlockBad(b) {
 		n.count = 0
 		return
 	}

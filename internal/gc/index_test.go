@@ -24,7 +24,7 @@ func TestVictimIndexMatchesLinearScan(t *testing.T) {
 	for _, kind := range Kinds() {
 		t.Run(string(kind), func(t *testing.T) {
 			g := indexTestGeom()
-			fl := nand.MustNewFlash(g, nand.DefaultTiming())
+			fl := mustFlash(g)
 			a := &fakeAlloc{fl: fl, active: -1}
 			c := newTestController(fl, a, &fakeHost{}, kind)
 			rng := rand.New(rand.NewSource(int64(len(kind)) * 7919))
@@ -110,7 +110,7 @@ func TestVictimIndexMatchesLinearScan(t *testing.T) {
 // than the block count the linear scan visits.
 func TestVictimIndexExaminesSublinear(t *testing.T) {
 	g := nand.Geometry{Channels: 4, Ways: 4, Planes: 1, BlocksPerUnit: 32, PagesPerBlock: 16, PageSize: 4096}
-	fl := nand.MustNewFlash(g, nand.DefaultTiming())
+	fl := mustFlash(g)
 	a := &fakeAlloc{fl: fl, active: -1}
 	c := newTestController(fl, a, &fakeHost{}, Greedy)
 	rng := rand.New(rand.NewSource(5))
@@ -158,7 +158,7 @@ func TestVictimIndexExaminesSublinear(t *testing.T) {
 // allocate once the index's fixed-capacity queue exists.
 func TestInvalidateHookAllocFree(t *testing.T) {
 	g := indexTestGeom()
-	fl := nand.MustNewFlash(g, nand.DefaultTiming())
+	fl := mustFlash(g)
 	a := &fakeAlloc{fl: fl, active: -1}
 	c := newTestController(fl, a, &fakeHost{}, CostBenefit)
 	_ = c
@@ -189,7 +189,7 @@ func TestInvalidateHookAllocFree(t *testing.T) {
 func benchIndexDevice(b *testing.B, kind Kind) (*nand.Flash, *Controller) {
 	b.Helper()
 	g := nand.Geometry{Channels: 8, Ways: 8, Planes: 1, BlocksPerUnit: 64, PagesPerBlock: 32, PageSize: 4096}
-	fl := nand.MustNewFlash(g, nand.DefaultTiming())
+	fl := mustFlash(g)
 	a := &fakeAlloc{fl: fl, active: -1}
 	c := NewController(fl, a, &fakeHost{}, stats.NewCollector(), MustPolicy(kind), 2, 0)
 	a.onActive = c.ActiveChanged
@@ -256,7 +256,7 @@ func BenchmarkVictimLinearScan(b *testing.B) {
 // 0 allocs/op — the index is fed on every host overwrite.
 func BenchmarkInvalidateHook(b *testing.B) {
 	g := nand.Geometry{Channels: 4, Ways: 4, Planes: 1, BlocksPerUnit: 32, PagesPerBlock: 64, PageSize: 4096}
-	fl := nand.MustNewFlash(g, nand.DefaultTiming())
+	fl := mustFlash(g)
 	a := &fakeAlloc{fl: fl, active: -1}
 	c := NewController(fl, a, &fakeHost{}, stats.NewCollector(), MustPolicy(Greedy), 2, 0)
 	a.onActive = c.ActiveChanged

@@ -108,6 +108,11 @@ func (l *LeaFTL) flush(now nand.Time) nand.Time {
 		if done > end {
 			end = done
 		}
+		if ppn == nand.InvalidPPN {
+			// Device failed (no space even after GC): skip the training
+			// point — there is no physical page to learn.
+			continue
+		}
 		tpn := l.Cfg.TPNOf(lpn)
 		pts[tpn] = append(pts[tpn], learned.Point{
 			X: lpn,

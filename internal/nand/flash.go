@@ -69,6 +69,13 @@ type blockMeta struct {
 	writePtr int // next programmable page index (NAND in-order constraint)
 	erases   int64
 	lastMod  Time // completion time of the most recent program into the block
+	// reads counts page reads of this block since its last erase — the
+	// read-disturb input of the fault model. Only maintained while a fault
+	// model is attached, so the ideal-NAND fast path stays untouched.
+	reads int64
+	// bad marks a grown bad block: retired from circulation, never
+	// allocated, never a GC victim.
+	bad bool
 }
 
 // BlockObserver receives block-granularity dirty notifications: the observed
@@ -110,6 +117,20 @@ type Flash struct {
 	lifetime OpCounters
 
 	obs BlockObserver
+
+	// fm, when non-nil, injects reliability outcomes into the read,
+	// program and erase paths. rel tallies its events; badCount tracks the
+	// grown bad-block population.
+	fm       FaultModel
+	rel      RelCounters
+	badCount int
+	// scrubQueue is the at-risk block queue the fault model feeds and the
+	// background scrub source drains, FIFO with a lazy head. scrubQueued
+	// deduplicates entries; a cleared flag (erase or retirement) voids the
+	// queued entry, which PopScrubBlock skips.
+	scrubQueue  []int
+	scrubHead   int
+	scrubQueued []bool
 }
 
 // NewFlash builds an erased flash array for geometry g with timing t.
@@ -131,14 +152,20 @@ func NewFlash(g Geometry, t Timing) (*Flash, error) {
 	return f, nil
 }
 
-// MustNewFlash is NewFlash that panics on invalid geometry; for tests.
-func MustNewFlash(g Geometry, t Timing) *Flash {
-	f, err := NewFlash(g, t)
-	if err != nil {
-		panic(err)
+// SetFaultModel attaches the reliability model (nil detaches). Without one
+// the read/program/erase paths are exactly the ideal-NAND paths: no
+// per-block read counting, no retry latency, no failure draws, no
+// allocations beyond construction.
+func (f *Flash) SetFaultModel(m FaultModel) {
+	f.fm = m
+	if m != nil && f.scrubQueued == nil {
+		f.scrubQueued = make([]bool, f.geo.TotalBlocks())
+		f.scrubQueue = make([]int, 0, f.geo.TotalBlocks())
 	}
-	return f
 }
+
+// FaultModel returns the attached reliability model (nil when disabled).
+func (f *Flash) FaultModel() FaultModel { return f.fm }
 
 // SetBlockObserver registers the single block-dirty observer (nil to
 // detach). The flash array supports one observer: the last registration
@@ -167,10 +194,13 @@ func (f *Flash) Counters() OpCounters { return f.counters }
 
 // ResetCounters zeroes the operation counters (used between warm-up and
 // measurement phases of an experiment), folding them into the lifetime
-// totals first.
+// totals first. Reliability tallies reset too — UBER is a per-window ratio
+// against the same window's read count — but the per-block read-disturb
+// counters and bad-block list persist: they are device state, not metrics.
 func (f *Flash) ResetCounters() {
 	f.lifetime.accumulate(f.counters)
 	f.counters = OpCounters{}
+	f.rel = RelCounters{}
 }
 
 // LifetimeCounters returns the cumulative operation counters since device
@@ -200,8 +230,43 @@ func (f *Flash) schedule(chip int, after Time, d Time) Time {
 // free or invalid pages are permitted — mispredicted learned-index reads do
 // exactly that.
 func (f *Flash) Read(p PPN, after Time, kind OpKind) Time {
+	if f.fm != nil {
+		return f.faultRead(p, after, kind)
+	}
 	f.counters.Reads[kind]++
 	return f.schedule(f.codec.Chip(p), after, f.timing.ReadLatency)
+}
+
+// faultRead is the fault-model read path: it maintains the block's
+// read-disturb counter, charges retry steps as extra chip occupancy, tallies
+// uncorrectable events and flags at-risk blocks for scrub.
+func (f *Flash) faultRead(p PPN, after Time, kind OpKind) Time {
+	f.counters.Reads[kind]++
+	bid := f.codec.BlockID(p)
+	b := &f.blocks[bid]
+	b.reads++
+	age := Time(0)
+	if b.lastMod > 0 && after > b.lastMod {
+		age = after - b.lastMod
+	}
+	out := f.fm.ReadFault(p, b.reads, b.erases, age)
+	d := f.timing.ReadLatency
+	if out.Retries > 0 {
+		retry := Time(out.Retries) * f.timing.RetryLatency
+		d += retry
+		f.rel.Retries += int64(out.Retries)
+		f.rel.RetryTime += retry
+	}
+	if out.Uncorrectable {
+		f.rel.Uncorrectable++
+		if kind == OpHostData {
+			f.rel.HostUncorrectable++
+		}
+	}
+	if (out.Scrub || out.Uncorrectable) && !b.bad {
+		f.QueueScrub(bid)
+	}
+	return f.schedule(f.codec.Chip(p), after, d)
 }
 
 // Program writes a page, setting it valid and recording its OOB. NAND
@@ -223,6 +288,19 @@ func (f *Flash) Program(p PPN, oob OOB, after Time, kind OpKind) (Time, error) {
 	}
 	if oob.Key < 0 {
 		return 0, fmt.Errorf("nand: program of page %d with negative OOB key %d", p, oob.Key)
+	}
+	if f.fm != nil && f.fm.ProgramFault(p, b.erases) {
+		// Grown defect: the program op ran and failed verification. The
+		// page is burned — consumed by the write pointer but holding
+		// nothing — and the block joins the bad-block list. The op still
+		// occupies the chip for a full program latency.
+		f.programmed[w] |= m
+		b.writePtr++
+		f.counters.Programs[kind]++
+		f.rel.ProgramFails++
+		f.markBad(bid)
+		f.notifyBlock(bid)
+		return f.schedule(f.codec.Chip(p), after, f.timing.ProgramLatency), ErrProgramFailed
 	}
 	f.programmed[w] |= m
 	f.valid[w] |= m
@@ -257,6 +335,10 @@ func (f *Flash) Erase(blockID int, after Time) (Time, error) {
 	if b.valid != 0 {
 		return 0, fmt.Errorf("nand: erase of block %d with %d valid pages", blockID, b.valid)
 	}
+	// An erase failure still clears the block (the contents are gone either
+	// way) but marks it bad: the caller sees success and must consult
+	// BlockBad before recycling the block into the free pool.
+	eraseFail := f.fm != nil && !b.bad && f.fm.EraseFault(blockID, b.erases)
 	base := PPN(int64(blockID) * int64(f.geo.PagesPerBlock))
 	clearBits(f.programmed, int64(base), int64(base)+int64(f.geo.PagesPerBlock))
 	clearBits(f.valid, int64(base), int64(base)+int64(f.geo.PagesPerBlock))
@@ -267,12 +349,80 @@ func (f *Flash) Erase(blockID int, after Time) (Time, error) {
 	b.erases++
 	// The block's program history died with its contents: age-aware GC
 	// policies must not compute candidate age from a program of the
-	// block's previous life.
+	// block's previous life. Read disturb likewise resets with the charge.
 	b.lastMod = 0
+	b.reads = 0
+	if f.scrubQueued != nil {
+		f.scrubQueued[blockID] = false
+	}
+	if eraseFail {
+		f.rel.EraseFails++
+		f.markBad(blockID)
+	}
 	f.counters.Erases++
 	chip := f.codec.Chip(base)
 	f.notifyBlock(blockID)
 	return f.schedule(chip, after, f.timing.EraseLatency), nil
+}
+
+// markBad retires a block into the grown bad-block list and voids any
+// pending scrub entry for it.
+func (f *Flash) markBad(blockID int) {
+	b := &f.blocks[blockID]
+	if !b.bad {
+		b.bad = true
+		f.badCount++
+	}
+	if f.scrubQueued != nil {
+		f.scrubQueued[blockID] = false
+	}
+}
+
+// BlockBad reports whether blockID is a grown bad block.
+func (f *Flash) BlockBad(blockID int) bool { return f.blocks[blockID].bad }
+
+// BadBlocks returns the grown bad-block count.
+func (f *Flash) BadBlocks() int { return f.badCount }
+
+// BlockReads returns blockID's read count since its last erase (the
+// read-disturb counter). Zero unless a fault model is attached.
+func (f *Flash) BlockReads(blockID int) int64 { return f.blocks[blockID].reads }
+
+// RelCounters returns the reliability event tallies since the last
+// ResetCounters.
+func (f *Flash) RelCounters() RelCounters { return f.rel }
+
+// QueueScrub enqueues blockID for the background scrub source (no-op when
+// no fault model is attached or the block is already queued). Bad blocks
+// with stranded valid pages may also be queued, so the scrub source can
+// drain them when a collection slot opens.
+func (f *Flash) QueueScrub(blockID int) {
+	if f.scrubQueued == nil || f.scrubQueued[blockID] {
+		return
+	}
+	f.scrubQueued[blockID] = true
+	f.scrubQueue = append(f.scrubQueue, blockID)
+}
+
+// PopScrubBlock dequeues the next at-risk block, skipping entries whose
+// queued flag was voided by an erase or retirement in the meantime.
+// Returns -1 when the queue is empty.
+func (f *Flash) PopScrubBlock() int {
+	for f.scrubHead < len(f.scrubQueue) {
+		blk := f.scrubQueue[f.scrubHead]
+		f.scrubHead++
+		if f.scrubQueued[blk] {
+			f.scrubQueued[blk] = false
+			if f.scrubHead == len(f.scrubQueue) {
+				f.scrubQueue = f.scrubQueue[:0]
+				f.scrubHead = 0
+			}
+			return blk
+		}
+	}
+	f.scrubQueue = f.scrubQueue[:0]
+	f.scrubHead = 0
+	return -1
 }
 
 // clearBits zeroes bits [lo, hi) of a bitmap, handling word-misaligned
@@ -456,6 +606,12 @@ type FlashState struct {
 	Counters   OpCounters
 	// Lifetime is the cumulative operation count including Counters.
 	Lifetime OpCounters
+	// Reliability state (snapshot format v3). Nil Reads/Bad — a snapshot
+	// taken before the fault model existed — import as all-zero, which is
+	// exactly the state of a device that never saw a fault model.
+	Reads []int64
+	Bad   []bool
+	Rel   RelCounters
 }
 
 // ExportState copies the array's mutable state into a FlashState.
@@ -469,10 +625,15 @@ func (f *Flash) ExportState() FlashState {
 		ChipBusy:   append([]Time(nil), f.chipBusy...),
 		Counters:   f.counters,
 		Lifetime:   f.LifetimeCounters(),
+		Reads:      make([]int64, len(f.blocks)),
+		Bad:        make([]bool, len(f.blocks)),
+		Rel:        f.rel,
 	}
 	for i := range f.blocks {
 		s.Erases[i] = f.blocks[i].erases
 		s.LastMod[i] = f.blocks[i].lastMod
+		s.Reads[i] = f.blocks[i].reads
+		s.Bad[i] = f.blocks[i].bad
 	}
 	return s
 }
@@ -491,6 +652,10 @@ func (f *Flash) ImportState(s FlashState) error {
 		return fmt.Errorf("nand: import of %d blocks into %d-block device", len(s.Erases), len(f.blocks))
 	case len(s.ChipBusy) != len(f.chipBusy):
 		return fmt.Errorf("nand: import of %d chips into %d-chip device", len(s.ChipBusy), len(f.chipBusy))
+	case s.Reads != nil && len(s.Reads) != len(f.blocks):
+		return fmt.Errorf("nand: import of %d block read counters into %d-block device", len(s.Reads), len(f.blocks))
+	case s.Bad != nil && len(s.Bad) != len(f.blocks):
+		return fmt.Errorf("nand: import of %d bad-block flags into %d-block device", len(s.Bad), len(f.blocks))
 	}
 	ppb := f.geo.PagesPerBlock
 	for b := range f.blocks {
@@ -512,11 +677,24 @@ func (f *Flash) ImportState(s FlashState) error {
 				valid++
 			}
 		}
-		f.blocks[b] = blockMeta{
+		meta := blockMeta{
 			valid:    valid,
 			writePtr: wp,
 			erases:   s.Erases[b],
 			lastMod:  s.LastMod[b],
+		}
+		if s.Reads != nil {
+			meta.reads = s.Reads[b]
+		}
+		if s.Bad != nil {
+			meta.bad = s.Bad[b]
+		}
+		f.blocks[b] = meta
+	}
+	f.badCount = 0
+	for b := range f.blocks {
+		if f.blocks[b].bad {
+			f.badCount++
 		}
 	}
 	copy(f.programmed, s.Programmed)
@@ -526,6 +704,14 @@ func (f *Flash) ImportState(s FlashState) error {
 	f.counters = s.Counters
 	f.lifetime = s.Lifetime
 	f.lifetime.subtract(s.Counters)
+	f.rel = s.Rel
+	// The scrub queue is transient risk-tracking state, not snapshotted;
+	// at-risk blocks re-flag on their next disturbed read.
+	f.scrubQueue = f.scrubQueue[:0]
+	f.scrubHead = 0
+	for i := range f.scrubQueued {
+		f.scrubQueued[i] = false
+	}
 	for b := range f.blocks {
 		f.notifyBlock(b)
 	}
@@ -540,4 +726,17 @@ func (f *Flash) MaxChipBusy() Time {
 		m = max(m, t)
 	}
 	return m
+}
+
+// AdvanceIdle moves every chip's clock to MaxChipBusy()+d without
+// performing any operation: the device sits idle (or powered off) for d,
+// so every block's retention age grows by at least d. Retention
+// experiments use it as a shelf bake between warm-up and measurement —
+// data written before the bake is old, data rewritten after stays fresh
+// on the timescale of the measured window.
+func (f *Flash) AdvanceIdle(d Time) {
+	t := f.MaxChipBusy() + d
+	for i := range f.chipBusy {
+		f.chipBusy[i] = t
+	}
 }

@@ -11,6 +11,15 @@ func newTestFlash(t *testing.T) *Flash {
 	return f
 }
 
+// mustFlash is the test-only shorthand for geometries built inline.
+func mustFlash(g Geometry) *Flash {
+	f, err := NewFlash(g, DefaultTiming())
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
 func TestProgramReadInvalidateEraseLifecycle(t *testing.T) {
 	f := newTestFlash(t)
 	p := PPN(0)
@@ -201,7 +210,7 @@ func TestOpKindString(t *testing.T) {
 // age from a program that no longer exists.
 func TestEraseClearsBlockLastMod(t *testing.T) {
 	g := Geometry{Channels: 1, Ways: 1, Planes: 1, BlocksPerUnit: 2, PagesPerBlock: 4, PageSize: 4096}
-	f := MustNewFlash(g, DefaultTiming())
+	f := mustFlash(g)
 	var now Time
 	for i := 0; i < g.PagesPerBlock; i++ {
 		done, err := f.Program(PPN(i), OOB{Key: int64(i)}, now, OpHostData)
@@ -232,7 +241,7 @@ func TestEraseClearsBlockLastMod(t *testing.T) {
 // the valid-bitmap iterator must stay confined to their block.
 func TestPackedBitmapBlockBoundaries(t *testing.T) {
 	g := Geometry{Channels: 1, Ways: 1, Planes: 1, BlocksPerUnit: 8, PagesPerBlock: 12, PageSize: 4096}
-	f := MustNewFlash(g, DefaultTiming())
+	f := mustFlash(g)
 	ppb := int64(g.PagesPerBlock)
 	// Fill blocks 0..3 fully; invalidate a scattered subset in each.
 	for blk := int64(0); blk < 4; blk++ {
@@ -345,7 +354,7 @@ func TestFootprintPackedVsStructLayout(t *testing.T) {
 // counts, recency, chip schedules and both counter sets.
 func TestFlashExportImportRoundTrip(t *testing.T) {
 	g := Geometry{Channels: 2, Ways: 1, Planes: 1, BlocksPerUnit: 2, PagesPerBlock: 4, PageSize: 4096}
-	f := MustNewFlash(g, DefaultTiming())
+	f := mustFlash(g)
 	var now Time
 	for i := 0; i < 6; i++ {
 		p := PPN(i)
@@ -365,7 +374,7 @@ func TestFlashExportImportRoundTrip(t *testing.T) {
 	f.ResetCounters() // lifetime accumulates, current zeroes
 	f.Read(2, now, OpGC)
 
-	g2 := MustNewFlash(g, DefaultTiming())
+	g2 := mustFlash(g)
 	if err := g2.ImportState(f.ExportState()); err != nil {
 		t.Fatal(err)
 	}
@@ -393,7 +402,7 @@ func TestFlashExportImportRoundTrip(t *testing.T) {
 	bad := f.ExportState()
 	bad.Programmed[0] &^= 1 // page 1 of block 0 remains programmed
 	bad.Valid[0] &^= 1
-	if err := MustNewFlash(g, DefaultTiming()).ImportState(bad); err == nil {
+	if err := mustFlash(g).ImportState(bad); err == nil {
 		t.Fatal("import accepted a programmed page above a free one")
 	}
 
@@ -401,7 +410,7 @@ func TestFlashExportImportRoundTrip(t *testing.T) {
 	bad2 := f.ExportState()
 	lastPage := int64(g.TotalPages() - 1)
 	bad2.Valid[lastPage>>6] |= 1 << (uint(lastPage) & 63)
-	if err := MustNewFlash(g, DefaultTiming()).ImportState(bad2); err == nil {
+	if err := mustFlash(g).ImportState(bad2); err == nil {
 		t.Fatal("import accepted a valid bit without a programmed bit")
 	}
 }

@@ -19,6 +19,12 @@ type Timing struct {
 	ReadLatency    Time // NAND array read + transfer
 	ProgramLatency Time // program one page
 	EraseLatency   Time // erase one block
+	// RetryLatency is the cost of one ECC read-retry step: a re-sense of
+	// the page at a shifted reference voltage. Each retry step the fault
+	// model requests extends the read's chip occupancy by this much, so
+	// retries flow into service time and the open-loop tail decomposition
+	// like any other NAND latency.
+	RetryLatency Time
 }
 
 // DefaultTiming returns the paper's FEMU NAND latencies.
@@ -27,6 +33,7 @@ func DefaultTiming() Timing {
 		ReadLatency:    40 * Microsecond,
 		ProgramLatency: 200 * Microsecond,
 		EraseLatency:   2 * Millisecond,
+		RetryLatency:   40 * Microsecond,
 	}
 }
 

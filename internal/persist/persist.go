@@ -36,7 +36,12 @@ import (
 // Version 2 packed the flash section: page states as two bitmaps
 // (programmed, valid) and the OOB as tagged keys, matching the in-memory
 // packed layout.
-const Version = 2
+//
+// Version 3 appended the reliability state to the flash section: per-block
+// read-disturb counters, grown bad-block flags and the reliability event
+// tallies. Version-1/2 streams load with that state zeroed — exactly a
+// device that never ran with a fault model.
+const Version = 3
 
 // oldestDecodableVersion is the lowest snapshot version Restore accepts.
 const oldestDecodableVersion = 1
@@ -144,6 +149,36 @@ func SaveFlash(e *Encoder, fl *nand.Flash) {
 	}
 	saveCounters(e, s.Counters)
 	saveCounters(e, s.Lifetime)
+	// Version 3: reliability state. Reads and Bad share one length (both
+	// per-block).
+	e.U64(uint64(len(s.Reads)))
+	for _, r := range s.Reads {
+		e.I64(r)
+	}
+	for _, bad := range s.Bad {
+		e.Bool(bad)
+	}
+	saveRelCounters(e, s.Rel)
+}
+
+func saveRelCounters(e *Encoder, r nand.RelCounters) {
+	e.I64(r.Retries)
+	e.I64(int64(r.RetryTime))
+	e.I64(r.Uncorrectable)
+	e.I64(r.HostUncorrectable)
+	e.I64(r.ProgramFails)
+	e.I64(r.EraseFails)
+}
+
+func loadRelCounters(d *Decoder) nand.RelCounters {
+	return nand.RelCounters{
+		Retries:           d.I64(),
+		RetryTime:         nand.Time(d.I64()),
+		Uncorrectable:     d.I64(),
+		HostUncorrectable: d.I64(),
+		ProgramFails:      d.I64(),
+		EraseFails:        d.I64(),
+	}
 }
 
 // LoadFlash restores a SaveFlash section into fl (same geometry),
@@ -176,6 +211,17 @@ func LoadFlash(d *Decoder, fl *nand.Flash) error {
 	}
 	s.Counters = loadCounters(d)
 	s.Lifetime = loadCounters(d)
+	if d.Version() >= 3 {
+		s.Reads = make([]int64, d.U64())
+		for i := range s.Reads {
+			s.Reads[i] = d.I64()
+		}
+		s.Bad = make([]bool, len(s.Reads))
+		for i := range s.Bad {
+			s.Bad[i] = d.Bool()
+		}
+		s.Rel = loadRelCounters(d)
+	}
 	if err := d.Err(); err != nil {
 		return err
 	}

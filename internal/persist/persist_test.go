@@ -11,6 +11,15 @@ import (
 	"learnedftl/internal/nand"
 )
 
+// mustFlash is the test-only shorthand for geometries built inline.
+func mustFlash(g nand.Geometry) *nand.Flash {
+	fl, err := nand.NewFlash(g, nand.DefaultTiming())
+	if err != nil {
+		panic(err)
+	}
+	return fl
+}
+
 // crc32Sum is the snapshot trailer checksum in wire order.
 func crc32Sum(buf []byte) [4]byte {
 	sum := crc32.ChecksumIEEE(buf)
@@ -141,7 +150,7 @@ func TestCMTSectionPreservesRecencyAndDirty(t *testing.T) {
 
 func TestScanOOBRebuildsMappingsAndChargesReads(t *testing.T) {
 	g := nand.Geometry{Channels: 2, Ways: 1, Planes: 1, BlocksPerUnit: 2, PagesPerBlock: 4, PageSize: 4096}
-	fl := nand.MustNewFlash(g, nand.DefaultTiming())
+	fl := mustFlash(g)
 	var now nand.Time
 	// Chip 0, block 0: two data pages (one later invalidated) + one
 	// translation page. Chip 1 stays empty.
@@ -214,7 +223,7 @@ func saveFlashV1(e *Encoder, fl *nand.Flash) {
 // format bump keep loading bit-for-bit.
 func TestLoadFlashDecodesVersion1(t *testing.T) {
 	g := nand.Geometry{Channels: 2, Ways: 1, Planes: 1, BlocksPerUnit: 2, PagesPerBlock: 4, PageSize: 4096}
-	fl := nand.MustNewFlash(g, nand.DefaultTiming())
+	fl := mustFlash(g)
 	var now nand.Time
 	for i, oob := range []nand.OOB{{Key: 11}, {Key: 22, Trans: true}, {Key: 33}} {
 		done, err := fl.Program(nand.PPN(i), oob, now, nand.OpHostData)
@@ -231,7 +240,7 @@ func TestLoadFlashDecodesVersion1(t *testing.T) {
 	saveFlashV1(e, fl)
 	d := NewDecoder(e.Data())
 	d.ver = 1
-	got := nand.MustNewFlash(g, nand.DefaultTiming())
+	got := mustFlash(g)
 	if err := LoadFlash(d, got); err != nil {
 		t.Fatal(err)
 	}
@@ -247,6 +256,81 @@ func TestLoadFlashDecodesVersion1(t *testing.T) {
 	SaveFlash(check, got)
 	if !bytes.Equal(want.Data(), check.Data()) {
 		t.Fatal("v1-decoded flash state diverged from the source device")
+	}
+}
+
+// saveFlashV2 encodes the packed version-2 flash section — bitmaps, keys,
+// per-block erase/lastMod, chip clocks and counters, with no reliability
+// tail — the layout checkpoints written before the version-3 bump carry.
+func saveFlashV2(e *Encoder, fl *nand.Flash) {
+	s := fl.ExportState()
+	e.Words(s.Programmed)
+	e.Words(s.Valid)
+	e.U64(uint64(len(s.Keys)))
+	for _, k := range s.Keys {
+		e.I64(k)
+	}
+	e.U64(uint64(len(s.Erases)))
+	for i := range s.Erases {
+		e.I64(s.Erases[i])
+		e.I64(int64(s.LastMod[i]))
+	}
+	e.U64(uint64(len(s.ChipBusy)))
+	for _, t := range s.ChipBusy {
+		e.I64(int64(t))
+	}
+	saveCounters(e, s.Counters)
+	saveCounters(e, s.Lifetime)
+}
+
+// TestLoadFlashDecodesVersion2 pins the reliability-state upgrade path: a
+// version-2 flash section (no reliability tail) must restore with the
+// read-disturb counters, the bad-block list and the event tallies all
+// zeroed — exactly the state of a device that has never run with the fault
+// model attached. Since the simulator is deterministic, byte-identical
+// state means a fault-disabled continuation from a v2 checkpoint behaves
+// bit for bit like one from a v3 checkpoint of the same device.
+func TestLoadFlashDecodesVersion2(t *testing.T) {
+	g := nand.Geometry{Channels: 2, Ways: 1, Planes: 1, BlocksPerUnit: 2, PagesPerBlock: 4, PageSize: 4096}
+	fl := mustFlash(g)
+	var now nand.Time
+	for i, oob := range []nand.OOB{{Key: 11}, {Key: 22, Trans: true}, {Key: 33}} {
+		done, err := fl.Program(nand.PPN(i), oob, now, nand.OpHostData)
+		if err != nil {
+			t.Fatal(err)
+		}
+		now = done
+	}
+	if err := fl.Invalidate(0); err != nil {
+		t.Fatal(err)
+	}
+
+	e := NewEncoder()
+	saveFlashV2(e, fl)
+	d := NewDecoder(e.Data())
+	d.ver = 2
+	got := mustFlash(g)
+	if err := LoadFlash(d, got); err != nil {
+		t.Fatal(err)
+	}
+	if d.Remaining() != 0 {
+		t.Fatalf("%d bytes left after v2 decode", d.Remaining())
+	}
+	if got.BadBlocks() != 0 {
+		t.Fatalf("v2 decode grew %d bad blocks", got.BadBlocks())
+	}
+	if rel := got.RelCounters(); rel != (nand.RelCounters{}) {
+		t.Fatalf("v2 decode carried reliability tallies %+v", rel)
+	}
+
+	// The source never had a fault model attached, so its reliability state
+	// is zero too: a version-3 re-encode of both must agree byte for byte.
+	want := NewEncoder()
+	SaveFlash(want, fl)
+	check := NewEncoder()
+	SaveFlash(check, got)
+	if !bytes.Equal(want.Data(), check.Data()) {
+		t.Fatal("v2-decoded flash state diverged from the source device")
 	}
 }
 

@@ -95,6 +95,18 @@ type Collector struct {
 	SortTrainOps int64       // GTD entries sorted+trained during GC
 	SortTrainNS  int64       // virtual ns charged for sorting+training
 
+	// Background scrub activity (fault model): at-risk block rewrites.
+	ScrubCount      int64
+	ScrubPagesMoved int64
+	ScrubBusyTime   nand.Time
+
+	// DeviceFailed latches when the FTL could not allocate space for a host
+	// or translation write — the device is overcommitted or bad-block
+	// growth consumed the over-provisioning. Writes after the latch are
+	// dropped; FailReason carries the first failure's diagnosis.
+	DeviceFailed bool
+	FailReason   string
+
 	// waSamples tracks cumulative write amplification over virtual time:
 	// one sample per GC completion, pairing the host pages written so far
 	// with the flash programs issued so far.
@@ -220,6 +232,25 @@ func (c *Collector) RecordGC(t nand.Time, pagesMoved int, busy nand.Time) {
 // RecordBGGC marks the most recent collection as background-triggered
 // (idle-gap collection rather than a watermark hit on the write path).
 func (c *Collector) RecordBGGC() { c.BGGCCount++ }
+
+// RecordScrub records one background scrub collection that refreshed
+// pagesMoved pages and kept the device busy for busy ns. Scrubs are
+// accounted apart from GC so refresh traffic is distinguishable from
+// reclamation.
+func (c *Collector) RecordScrub(pagesMoved int, busy nand.Time) {
+	c.ScrubCount++
+	c.ScrubPagesMoved += int64(pagesMoved)
+	c.ScrubBusyTime += busy
+}
+
+// RecordDeviceFailure latches the device-failed state; the first reported
+// reason wins (it is the root cause — later failures follow from it).
+func (c *Collector) RecordDeviceFailure(reason string) {
+	if !c.DeviceFailed {
+		c.DeviceFailed = true
+		c.FailReason = reason
+	}
+}
 
 // RecordTrim records one host TRIM request covering pages LPNs, live of
 // which held flash-resident data. Trims are metadata operations: they join
@@ -453,6 +484,20 @@ type Report struct {
 	ModelBytesPerPage float64
 
 	Flash nand.OpCounters
+
+	// Reliability view (zero when the fault model is disabled). Rel carries
+	// the raw event tallies; UBER is uncorrectable reads per host-visible
+	// bit read; RefreshPages is the scrub-driven rewrite traffic. Failed
+	// mirrors the collector's device-failed latch. All filled by
+	// AddReliability except Failed/FailReason/ScrubCount/RefreshPages,
+	// which BuildReport copies from the collector.
+	Rel            nand.RelCounters
+	UBER           float64
+	GrownBadBlocks int
+	ScrubCount     int64
+	RefreshPages   int64
+	Failed         bool
+	FailReason     string
 }
 
 // AddWear attaches the device's erase distribution and the projected
@@ -470,6 +515,19 @@ func (r *Report) AddWear(w nand.WearStats, endurance int64, physBytes int64) {
 func (r *Report) AddFootprint(fp nand.Footprint) {
 	r.ModelBytes = fp.TotalBytes
 	r.ModelBytesPerPage = fp.BytesPerPage
+}
+
+// AddReliability attaches the flash array's reliability tallies and derives
+// UBER: host-visible uncorrectable reads over the bits of host data the
+// measured window read. Relocation and translation reads are excluded from
+// both sides — a decayed page that fails during GC is not an error on any
+// host request.
+func (r *Report) AddReliability(rel nand.RelCounters, badBlocks int, pageSize int) {
+	r.Rel = rel
+	r.GrownBadBlocks = badBlocks
+	if bits := float64(r.Flash.Reads[nand.OpHostData]) * float64(pageSize) * 8; bits > 0 {
+		r.UBER = float64(rel.HostUncorrectable) / bits
+	}
 }
 
 // StreamReport is the frozen per-tenant summary of one open-loop run.
@@ -506,6 +564,10 @@ func BuildReport(name string, c *Collector, flash nand.OpCounters,
 		GCCount:       c.GCCount,
 		BGGCCount:     c.BGGCCount,
 		HostTrims:     c.HostTrims,
+		ScrubCount:    c.ScrubCount,
+		RefreshPages:  c.ScrubPagesMoved,
+		Failed:        c.DeviceFailed,
+		FailReason:    c.FailReason,
 		Flash:         flash,
 		EnergyMJ:      float64(flash.EnergyNJ(energy)) / 1e6,
 	}

@@ -120,6 +120,10 @@ func (t *TPFTL) WritePages(lpn int64, n int, now nand.Time) nand.Time {
 	for k := 0; k < n; k++ {
 		l := lpn + int64(k)
 		ppn, done := t.HostProgram(l, now)
+		if ppn == nand.InvalidPPN {
+			// Device failed (no space even after GC): drop the write.
+			return done
+		}
 		t.cmt.Insert(l, ppn, true)
 		done = t.drainEvictions(done)
 		if done > end {
