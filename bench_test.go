@@ -194,7 +194,7 @@ func benchLearnedRandRead(b *testing.B, opt Options) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		warmDevice(f, bud.WarmExtra)
+		warmDevice(f, bud)
 		r := measureFIO(f, workload.RandRead, bud.Threads, 1, bud.Requests)
 		if i == 0 {
 			b.ReportMetric(r.ReadMBps, "MB/s")

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"learnedftl/internal/core"
@@ -38,6 +39,14 @@ type Budget struct {
 	// byte-identical tables; <= 1 runs serially. Use AutoWorkers() to
 	// saturate the machine.
 	Workers int `json:"workers"`
+	// ShardWorkers parallelizes the intra-run engine itself: warm-up (and
+	// any caller of sim.RunSharded) shards the event heap per chip across
+	// this many workers, with translation decisions barriered so results
+	// stay byte-identical at any value. <= 1 keeps the engine sequential.
+	// Unlike Workers — which fans independent cells out — this speeds up
+	// a SINGLE long run, e.g. a paper-scale warm-up that misses the
+	// checkpoint cache.
+	ShardWorkers int `json:"shard_workers,omitempty"`
 
 	// Open-loop knobs (loadsweep / tenantmix). OfferedIOPS fixes the
 	// total offered arrival rate in requests per virtual second; 0 derives
@@ -82,6 +91,52 @@ type Budget struct {
 	// cache; a missing or stale entry just falls back to the cold path and
 	// repopulates it. Shared safely across parallel cells.
 	Checkpoints *persist.Cache `json:"-"`
+
+	// warm, when set by RunExperiments, accumulates the cold warm-up cost
+	// of every cell (simulated programs over wall clock) so the BENCH
+	// trajectory tracks warm-up throughput — the number ShardWorkers
+	// optimizes.
+	warm *warmAccum
+}
+
+// WarmStats summarizes one device warm-up: deterministic simulated cost
+// (flash programs, virtual span, host requests) over host wall clock, and
+// the intra-run shard workers used.
+type WarmStats struct {
+	Programs int64     // flash programs simulated during warm-up
+	Requests int64     // host requests the warm-up issued
+	Span     nand.Time // virtual time the warm-up covered
+	Seconds  float64   // host wall clock
+	Workers  int       // shard workers used by the intra-run engine
+}
+
+// warmAccum sums WarmStats across an experiment's cells (cells run on the
+// budget's worker pool, so the add is locked).
+type warmAccum struct {
+	mu       sync.Mutex
+	programs int64
+	seconds  float64
+	workers  int
+}
+
+func (a *warmAccum) add(w WarmStats) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	a.programs += w.Programs
+	a.seconds += w.Seconds
+	a.workers = w.Workers
+	a.mu.Unlock()
+}
+
+func (a *warmAccum) snapshot() (programs int64, seconds float64, workers int) {
+	if a == nil {
+		return 0, 0, 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.programs, a.seconds, a.workers
 }
 
 // gcPolicyList resolves the budget's policy subset, erroring on typos so a
@@ -246,7 +301,7 @@ func newWarmed(s Scheme, cfg Config, b Budget) (FTL, error) {
 		if err != nil {
 			return nil, err
 		}
-		warmDevice(f, b.WarmExtra)
+		warmDevice(f, b)
 		return f, nil
 	}
 	key := warmKey(s, cfg, b.WarmExtra)
@@ -272,21 +327,38 @@ func newWarmed(s Scheme, cfg Config, b Budget) (FTL, error) {
 	if err != nil {
 		return nil, err
 	}
-	warmDevice(f, b.WarmExtra)
+	warmDevice(f, b)
 	if dev, devOK := f.(persist.Device); devOK {
 		b.Checkpoints.Store(key, persist.Snapshot(dev, key))
 	}
 	return f, nil
 }
 
-func warmDevice(f FTL, extra int) {
+func warmDevice(f FTL, b Budget) WarmStats {
+	start := time.Now()
+	lifeBefore := f.Flash().LifetimeCounters()
+	before := lifeBefore.TotalPrograms()
+	w := b.ShardWorkers
+	if w < 1 {
+		w = 1
+	}
 	lp := f.Config().LogicalPages()
-	sim.Warmed(f, workload.Warmup(lp, extra, 128, 1), 0)
+	r1, _ := sim.WarmedSharded(f, workload.Warmup(lp, b.WarmExtra, 128, 1), 0, w)
 	// Settle the mapping caches: the write warm-up leaves them full of
 	// dirty entries whose one-time write-back would otherwise dominate a
 	// short measured window (the paper's multi-minute runs amortize this).
 	settle := 2 * f.Config().CMTEntries()
-	sim.Warmed(f, workload.FIO(workload.RandRead, lp, 1, 16, settle/16+1, 977), 0)
+	r2, _ := sim.WarmedSharded(f, workload.FIO(workload.RandRead, lp, 1, 16, settle/16+1, 977), 0, w)
+	lifeAfter := f.Flash().LifetimeCounters()
+	ws := WarmStats{
+		Programs: lifeAfter.TotalPrograms() - before,
+		Requests: r1.Requests + r2.Requests,
+		Span:     r1.Makespan() + r2.Makespan(),
+		Seconds:  time.Since(start).Seconds(),
+		Workers:  w,
+	}
+	b.warm.add(ws)
+	return ws
 }
 
 // measure runs generators on a (typically warmed) device and summarizes.
@@ -798,7 +870,7 @@ func Fig18(cfg Config, b Budget) (Table, error) {
 		if err != nil {
 			return 0, err
 		}
-		warmDevice(f, b.WarmExtra)
+		warmDevice(f, b)
 		r := measureFIO(f, workload.RandWrite, b.Threads, 1, b.Requests)
 		return r.WriteMBps, nil
 	}
@@ -809,7 +881,7 @@ func Fig18(cfg Config, b Budget) (Table, error) {
 		if err != nil {
 			return 0, err
 		}
-		warmDevice(f, b.WarmExtra)
+		warmDevice(f, b)
 		r := measureFIO(f, p, b.Threads, io, b.Requests)
 		return r.ReadMBps, nil
 	}
@@ -1303,18 +1375,18 @@ func ScaleExp(cfg Config, b Budget) (Table, error) {
 	err = runCells(b, len(rows), func(i int) error {
 		ri, si := i/len(schemes), i%len(schemes)
 		c := rungs[ri]
-		start := time.Now()
 		f, err := New(schemes[si], c)
 		if err != nil {
 			return err
 		}
-		warmDevice(f, b.WarmExtra)
-		warmSecs := time.Since(start).Seconds()
 		// The simulated-program count of the warm-up is the deterministic,
 		// contention-free cost signal; the wall clock beside it includes
-		// whatever co-running cells the worker pool scheduled.
-		life := f.Flash().LifetimeCounters()
-		warmProgs := life.TotalPrograms()
+		// whatever co-running cells the worker pool scheduled. Both come
+		// straight from the warm-up result now instead of being re-derived
+		// from the lifetime counters.
+		ws := warmDevice(f, b)
+		warmSecs := ws.Seconds
+		warmProgs := ws.Programs
 		r := measureFIO(f, workload.RandWrite, b.Threads, 1, b.Requests)
 		fp := f.Flash().Footprint()
 		rows[i] = []string{

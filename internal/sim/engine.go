@@ -62,6 +62,22 @@ func (r Result) Makespan() nand.Time { return r.End - r.Start }
 // index), so a T-thread closed loop schedules each request in O(log T)
 // instead of the O(T) linear scan a naive implementation would need.
 func Run(f ftl.FTL, gens []Generator, maxRequests int64) Result {
+	return runLoop(f, gens, maxRequests, true)
+}
+
+// runLoop is the engine body shared by Run and Warmed. record=false skips
+// the per-request latency records — invisible to a Warmed caller, whose
+// collector is reset right after, but it keeps the warm-up hot path off
+// the collector entirely.
+//
+// Batched event processing: after a request completes, if the same
+// source's next event still precedes everything in the heap — always true
+// for a single-generator warm-up, and common whenever one thread runs
+// ahead — the loop continues on that source directly, skipping the
+// push+pop pair. The (time, index) order of processed events is exactly
+// the heap order, so results are byte-identical (pinned against the frozen
+// linear reference in sched_test.go).
+func runLoop(f ftl.FTL, gens []Generator, maxRequests int64, record bool) Result {
 	start := f.Flash().MaxChipBusy()
 	h := newEventHeap(len(gens), start)
 	col := f.Collector()
@@ -72,35 +88,52 @@ func Run(f ftl.FTL, gens []Generator, maxRequests int64) Result {
 			break
 		}
 		th, now := h.pop()
-		req, ok := gens[th].Next()
-		if !ok {
-			// Thread exhausted: retire it by not re-inserting.
-			continue
+		for {
+			req, ok := gens[th].Next()
+			if !ok {
+				// Thread exhausted: retire it by not re-inserting.
+				break
+			}
+			done, pages := issue(f, req, now)
+			if record {
+				switch {
+				case req.Trim:
+					// The FTL's TrimPages already counted the trim; a
+					// metadata op joins no latency population.
+				case req.Write:
+					col.RecordWrite(done-now, pages)
+				default:
+					col.RecordRead(done-now, pages)
+				}
+			}
+			if done > end {
+				end = done
+			}
+			issued++
+			if maxRequests > 0 && issued >= maxRequests {
+				break
+			}
+			if h.len() > 0 {
+				at, idx := h.peek()
+				if done > at || (done == at && int32(th) > idx) {
+					h.push(th, done)
+					break
+				}
+			}
+			now = done
 		}
-		done, pages := issue(f, req, now)
-		switch {
-		case req.Trim:
-			// The FTL's TrimPages already counted the trim; a metadata op
-			// joins no latency population.
-		case req.Write:
-			col.RecordWrite(done-now, pages)
-		default:
-			col.RecordRead(done-now, pages)
-		}
-		h.push(th, done)
-		if done > end {
-			end = done
-		}
-		issued++
 	}
 	return Result{Start: start, End: end, Requests: issued}
 }
 
 // Warmed runs a warm-up phase and then resets all metrics so a subsequent
 // measured Run starts from a steady-state device, mirroring the paper's
-// "write the SSD over ~6 times" warm-up (§IV-B).
-func Warmed(f ftl.FTL, warm []Generator, maxRequests int64) {
-	Run(f, warm, maxRequests)
+// "write the SSD over ~6 times" warm-up (§IV-B). It returns the warm-up
+// phase's own result (virtual span, requests issued) — the collector's
+// view of it is gone after the reset.
+func Warmed(f ftl.FTL, warm []Generator, maxRequests int64) Result {
+	r := runLoop(f, warm, maxRequests, false)
 	f.Collector().Reset()
 	f.Flash().ResetCounters()
+	return r
 }

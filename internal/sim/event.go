@@ -87,6 +87,10 @@ func (h *eventHeap) swap(a, b int) {
 	h.idx[a], h.idx[b] = h.idx[b], h.idx[a]
 }
 
+// peek returns the earliest-eventing source's key without removing it.
+// Only call with len() > 0.
+func (h *eventHeap) peek() (at nand.Time, idx int32) { return h.at[0], h.idx[0] }
+
 // pop removes and returns the earliest-eventing source.
 func (h *eventHeap) pop() (source int, at nand.Time) {
 	source, at = int(h.idx[0]), h.at[0]

@@ -1,0 +1,125 @@
+package stats
+
+import (
+	"testing"
+
+	"learnedftl/internal/nand"
+)
+
+// TestSeriesBasics: append/set/at/len/sum/appendTo across chunk boundaries.
+func TestSeriesBasics(t *testing.T) {
+	var s series
+	n := seriesChunkSize*2 + 17 // spans three chunks
+	var want int64
+	for i := 0; i < n; i++ {
+		s.append(int64(i))
+		want += int64(i)
+	}
+	if s.len() != n {
+		t.Fatalf("len = %d, want %d", s.len(), n)
+	}
+	if got := s.sum(); got != want {
+		t.Fatalf("sum = %d, want %d", got, want)
+	}
+	for _, i := range []int{0, 1, seriesChunkSize - 1, seriesChunkSize, n - 1} {
+		if got := s.at(i); got != int64(i) {
+			t.Fatalf("at(%d) = %d", i, got)
+		}
+	}
+	s.set(seriesChunkSize, -5)
+	if got := s.at(seriesChunkSize); got != -5 {
+		t.Fatalf("set/at = %d, want -5", got)
+	}
+	out := s.appendTo(nil)
+	if len(out) != n || out[0] != 0 || out[n-1] != int64(n-1) || out[seriesChunkSize] != -5 {
+		t.Fatalf("appendTo: len=%d out[0]=%d out[last]=%d", len(out), out[0], out[n-1])
+	}
+}
+
+// TestSeriesResetKeepsChunks: reset must retain capacity so the next fill
+// of the same size allocates nothing — the arena property the warm-up and
+// measured phases rely on.
+func TestSeriesResetKeepsChunks(t *testing.T) {
+	var s series
+	for i := 0; i < seriesChunkSize*3; i++ {
+		s.append(1)
+	}
+	chunks := len(s.chunks)
+	s.reset()
+	if s.len() != 0 {
+		t.Fatalf("len after reset = %d", s.len())
+	}
+	if len(s.chunks) != chunks {
+		t.Fatalf("reset dropped chunks: %d -> %d", chunks, len(s.chunks))
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		s.reset()
+		for i := 0; i < seriesChunkSize*3; i++ {
+			s.append(1)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("refill after reset allocated %.1f times per run", allocs)
+	}
+}
+
+// TestCollectorRecordZeroAlloc is the arena guarantee at the collector
+// level: once warmed past its high-water mark and Reset (exactly the
+// warm-up → measure cycle every experiment runs), recording latencies
+// allocates nothing per request.
+func TestCollectorRecordZeroAlloc(t *testing.T) {
+	c := NewCollector()
+	const n = 4 * seriesChunkSize
+	for i := 0; i < n; i++ {
+		c.RecordRead(100, 1)
+		c.RecordWrite(200, 1)
+	}
+	c.Reset()
+	i := 0
+	allocs := testing.AllocsPerRun(n/2, func() {
+		c.RecordRead(nand.Time(100+i), 1)
+		c.RecordWrite(nand.Time(200+i), 1)
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state record allocated %.1f times per request", allocs)
+	}
+	// The reserve/fill split used by the parallel engine is equally free.
+	c.Reset()
+	allocs = testing.AllocsPerRun(n/2, func() {
+		slot := c.ReserveRead(1)
+		c.FillRead(slot, 300)
+	})
+	if allocs != 0 {
+		t.Fatalf("reserve/fill allocated %.1f times per request", allocs)
+	}
+}
+
+// TestReserveFillMatchesRecord: reserving a slot and filling it later is
+// record-for-record identical to RecordRead.
+func TestReserveFillMatchesRecord(t *testing.T) {
+	a, b := NewCollector(), NewCollector()
+	lats := []nand.Time{5, 3, 9, 1, 7}
+	for _, l := range lats {
+		a.RecordRead(l, 2)
+	}
+	slots := make([]int, len(lats))
+	for i := range lats {
+		slots[i] = b.ReserveRead(2)
+	}
+	for i := len(lats) - 1; i >= 0; i-- { // fill out of order
+		b.FillRead(slots[i], lats[i])
+	}
+	if a.HostReads != b.HostReads || a.HostReadPages != b.HostReadPages {
+		t.Fatalf("counters diverge: %d/%d vs %d/%d",
+			a.HostReads, a.HostReadPages, b.HostReads, b.HostReadPages)
+	}
+	for _, p := range []float64{0, 50, 99, 100} {
+		if pa, pb := a.ReadPercentile(p), b.ReadPercentile(p); pa != pb {
+			t.Fatalf("p%v: %d vs %d", p, pa, pb)
+		}
+	}
+	if a.MeanReadLatency() != b.MeanReadLatency() {
+		t.Fatal("means diverge")
+	}
+}

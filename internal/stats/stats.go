@@ -50,16 +50,18 @@ func (c ReadClass) String() string {
 type Collector struct {
 	// Latencies of completed host requests, in virtual ns. For closed-loop
 	// runs these are device service times; for open-loop runs they are
-	// total host-observed latencies (queue wait + device service).
-	readLat  []int64
-	writeLat []int64
+	// total host-observed latencies (queue wait + device service). Backed
+	// by chunked arenas (series) that Reset retains, so the per-request
+	// hot path records allocation-free in steady state.
+	readLat  series
+	writeLat series
 
 	// Queue waits of completed open-loop requests, index-parallel to
 	// readLat/writeLat. Closed-loop runs leave them empty; an engine must
 	// not mix RecordRead/RecordWrite with RecordQueued in one run, or the
 	// pairing breaks.
-	readWait  []int64
-	writeWait []int64
+	readWait  series
+	writeWait series
 
 	// Per-stream (tenant) latency buckets of an open-loop run, registered
 	// by DefineStreams.
@@ -123,14 +125,27 @@ func NewCollector() *Collector { return &Collector{} }
 
 // RecordRead records a completed host read request of the given latency.
 func (c *Collector) RecordRead(lat nand.Time, pages int) {
-	c.readLat = append(c.readLat, int64(lat))
+	c.FillRead(c.ReserveRead(pages), lat)
+}
+
+// ReserveRead appends a placeholder read-latency record and returns its
+// slot, bumping the host read counts now. The parallel intra-run engine
+// reserves at issue time — in exact sequential order — and fills the
+// latency when the sharded flash ops resolve, so the record stream is
+// byte-identical to a sequential run regardless of resolution order.
+func (c *Collector) ReserveRead(pages int) int {
+	c.readLat.append(0)
 	c.HostReads++
 	c.HostReadPages += int64(pages)
+	return c.readLat.len() - 1
 }
+
+// FillRead sets the latency of a slot returned by ReserveRead.
+func (c *Collector) FillRead(slot int, lat nand.Time) { c.readLat.set(slot, int64(lat)) }
 
 // RecordWrite records a completed host write request of the given latency.
 func (c *Collector) RecordWrite(lat nand.Time, pages int) {
-	c.writeLat = append(c.writeLat, int64(lat))
+	c.writeLat.append(int64(lat))
 	c.HostWrites++
 	c.HostWritePages += int64(pages)
 }
@@ -205,10 +220,10 @@ func (c *Collector) RecordQueued(stream int, write bool, wait, service nand.Time
 	total := wait + service
 	if write {
 		c.RecordWrite(total, pages)
-		c.writeWait = append(c.writeWait, int64(wait))
+		c.writeWait.append(int64(wait))
 	} else {
 		c.RecordRead(total, pages)
-		c.readWait = append(c.readWait, int64(wait))
+		c.readWait.append(int64(wait))
 	}
 	if stream >= 0 && stream < len(c.streamIdx) {
 		s := c.streams[c.streamIdx[stream]]
@@ -293,33 +308,49 @@ func (c *Collector) RecordWASample(t nand.Time, flashPrograms int64) {
 func (c *Collector) WAOverTime() []WASample { return c.waSamples }
 
 // Reset clears all accumulated metrics (between warm-up and measurement).
-func (c *Collector) Reset() { *c = Collector{} }
+// The latency/wait arenas are kept and emptied rather than dropped, so the
+// next phase records into already-allocated chunks.
+func (c *Collector) Reset() {
+	rl, wl, rw, ww := c.readLat, c.writeLat, c.readWait, c.writeWait
+	*c = Collector{}
+	rl.reset()
+	wl.reset()
+	rw.reset()
+	ww.reset()
+	c.readLat, c.writeLat, c.readWait, c.writeWait = rl, wl, rw, ww
+}
 
 // Percentile returns the p-th percentile (0 < p <= 100) of the merged
 // read+write latency population, or 0 if empty.
 func (c *Collector) Percentile(p float64) nand.Time {
-	all := make([]int64, 0, len(c.readLat)+len(c.writeLat))
-	all = append(all, c.readLat...)
-	all = append(all, c.writeLat...)
-	return percentile(all, p)
+	all := make([]int64, 0, c.readLat.len()+c.writeLat.len())
+	all = c.readLat.appendTo(all)
+	all = c.writeLat.appendTo(all)
+	return percentileOwned(all, p)
 }
 
 // ReadPercentile returns the p-th percentile of read latencies.
 func (c *Collector) ReadPercentile(p float64) nand.Time {
-	return percentile(c.readLat, p)
+	return percentileOwned(c.readLat.appendTo(nil), p)
 }
 
 // WritePercentile returns the p-th percentile of write latencies.
 func (c *Collector) WritePercentile(p float64) nand.Time {
-	return percentile(c.writeLat, p)
+	return percentileOwned(c.writeLat.appendTo(nil), p)
 }
 
 func percentile(v []int64, p float64) nand.Time {
-	if len(v) == 0 {
-		return 0
-	}
 	s := make([]int64, len(v))
 	copy(s, v)
+	return percentileOwned(s, p)
+}
+
+// percentileOwned is percentile over a slice the caller lets us sort in
+// place (a fresh copy off a series arena).
+func percentileOwned(s []int64, p float64) nand.Time {
+	if len(s) == 0 {
+		return 0
+	}
 	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
 	idx := int(p/100*float64(len(s))) - 1
 	if idx < 0 {
@@ -335,25 +366,22 @@ func percentile(v []int64, p float64) nand.Time {
 // (total latency minus queue wait) of host reads. For closed-loop runs —
 // no recorded waits — it equals ReadPercentile.
 func (c *Collector) ReadServicePercentile(p float64) nand.Time {
-	return percentile(serviceLats(c.readLat, c.readWait), p)
+	return percentileOwned(serviceLats(&c.readLat, &c.readWait), p)
 }
 
 // WriteServicePercentile is ReadServicePercentile for writes.
 func (c *Collector) WriteServicePercentile(p float64) nand.Time {
-	return percentile(serviceLats(c.writeLat, c.writeWait), p)
+	return percentileOwned(serviceLats(&c.writeLat, &c.writeWait), p)
 }
 
 // serviceLats subtracts index-paired queue waits from total latencies;
-// with no waits recorded the totals already are service times.
-func serviceLats(lat, wait []int64) []int64 {
-	if len(wait) == 0 {
-		return lat
-	}
-	svc := make([]int64, len(lat))
-	for i, v := range lat {
-		svc[i] = v
-		if i < len(wait) {
-			svc[i] -= wait[i]
+// with no waits recorded the totals already are service times. Always a
+// fresh copy, so callers may sort it.
+func serviceLats(lat, wait *series) []int64 {
+	svc := lat.appendTo(make([]int64, 0, lat.len()))
+	for i := range svc {
+		if i < wait.len() {
+			svc[i] -= wait.at(i)
 		}
 	}
 	return svc
@@ -362,38 +390,45 @@ func serviceLats(lat, wait []int64) []int64 {
 // MeanLatency returns the average over the merged read+write latency
 // population.
 func (c *Collector) MeanLatency() nand.Time {
-	n := len(c.readLat) + len(c.writeLat)
+	n := c.readLat.len() + c.writeLat.len()
 	if n == 0 {
 		return 0
 	}
-	return nand.Time((sum(c.readLat) + sum(c.writeLat)) / int64(n))
+	return nand.Time((c.readLat.sum() + c.writeLat.sum()) / int64(n))
 }
 
 // MeanQueueWait returns the average queue wait over all open-loop
 // requests (0 for closed-loop runs).
 func (c *Collector) MeanQueueWait() nand.Time {
-	n := len(c.readWait) + len(c.writeWait)
+	n := c.readWait.len() + c.writeWait.len()
 	if n == 0 {
 		return 0
 	}
-	return nand.Time((sum(c.readWait) + sum(c.writeWait)) / int64(n))
+	return nand.Time((c.readWait.sum() + c.writeWait.sum()) / int64(n))
 }
 
 // QueueWaitShare returns the fraction of total host latency spent queued
 // rather than serviced, over the merged read+write population.
 func (c *Collector) QueueWaitShare() float64 {
-	sumL := sum(c.readLat) + sum(c.writeLat)
+	sumL := c.readLat.sum() + c.writeLat.sum()
 	if sumL == 0 {
 		return 0
 	}
-	return float64(sum(c.readWait)+sum(c.writeWait)) / float64(sumL)
+	return float64(c.readWait.sum()+c.writeWait.sum()) / float64(sumL)
 }
 
 // MeanReadLatency returns the average read latency.
-func (c *Collector) MeanReadLatency() nand.Time { return mean(c.readLat) }
+func (c *Collector) MeanReadLatency() nand.Time { return meanSeries(&c.readLat) }
 
 // MeanWriteLatency returns the average write latency.
-func (c *Collector) MeanWriteLatency() nand.Time { return mean(c.writeLat) }
+func (c *Collector) MeanWriteLatency() nand.Time { return meanSeries(&c.writeLat) }
+
+func meanSeries(s *series) nand.Time {
+	if s.len() == 0 {
+		return 0
+	}
+	return nand.Time(s.sum() / int64(s.len()))
+}
 
 func mean(v []int64) nand.Time {
 	if len(v) == 0 {

@@ -85,7 +85,7 @@ func TestReportCarriesFootprint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	warmDevice(f, 0)
+	warmDevice(f, Budget{})
 	r := measureFIO(f, workload.RandRead, 4, 1, 200)
 	want := f.Flash().Footprint()
 	if r.ModelBytes != want.TotalBytes || r.ModelBytesPerPage != want.BytesPerPage {

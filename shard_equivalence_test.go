@@ -1,0 +1,180 @@
+package learnedftl
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"learnedftl/internal/sim"
+	"learnedftl/internal/workload"
+)
+
+// shardEquivGens builds the measured-phase workload: a read-heavy random
+// mix (1 write in 4) that exercises both the resolved fast path (reads)
+// and the translation barrier (writes, CMT misses, GC).
+func shardEquivGens(lp int64) []Generator {
+	const threads, perThread = 8, 150
+	gens := make([]Generator, threads)
+	for th := 0; th < threads; th++ {
+		rng := rand.New(rand.NewSource(31 + int64(th)*7919))
+		issued := 0
+		gens[th] = sim.GenFunc(func() (sim.Request, bool) {
+			if issued >= perThread {
+				return sim.Request{}, false
+			}
+			issued++
+			return sim.Request{
+				Write: rng.Intn(4) == 0,
+				LPN:   rng.Int63n(lp),
+				Pages: 1,
+			}, true
+		})
+	}
+	return gens
+}
+
+// shardWarm builds the warm-up generators (fresh per run — generators are
+// stateful).
+func shardWarm(lp int64) []Generator {
+	return workload.Warmup(lp, 1, 64, 1)
+}
+
+// runShardEquivSeq runs the sequential reference: warm-up, then a measured
+// run, returning the final device plus both results.
+func runShardEquivSeq(t *testing.T, s Scheme) (FTL, RunResult, RunResult) {
+	t.Helper()
+	f, err := New(s, TinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp := f.Config().LogicalPages()
+	warm := sim.Warmed(f, shardWarm(lp), 0)
+	run := sim.Run(f, shardEquivGens(lp), 0)
+	return f, warm, run
+}
+
+// TestShardEquivalenceAllSchemes is the acceptance pin of the parallel
+// intra-run engine: for all five schemes and worker counts 1, 2 and 8,
+// warm-up through WarmedSharded plus a measured run through RunSharded
+// leaves the device in a byte-identical state (full SnapshotDevice stream)
+// with identical results and identical report numbers. Schemes with a
+// ShardReader must take the fast path; any scheme without one must fall
+// back and still match.
+func TestShardEquivalenceAllSchemes(t *testing.T) {
+	for _, s := range Schemes() {
+		fa, warmA, runA := runShardEquivSeq(t, s)
+		snapA, err := SnapshotDevice(fa)
+		if err != nil {
+			t.Fatalf("%s: snapshot: %v", s, err)
+		}
+		repA := report(fa, runA)
+
+		for _, workers := range []int{1, 2, 8} {
+			fb, err := New(s, TinyConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			lp := fb.Config().LogicalPages()
+			warmB, wst := sim.WarmedSharded(fb, shardWarm(lp), 0, workers)
+			runB, rst := sim.RunSharded(fb, shardEquivGens(lp), 0, workers)
+
+			if warmA != warmB {
+				t.Fatalf("%s workers=%d: warm result %+v != %+v", s, workers, warmB, warmA)
+			}
+			if runA != runB {
+				t.Fatalf("%s workers=%d: run result %+v != %+v", s, workers, runB, runA)
+			}
+			if wst.Fallback != rst.Fallback {
+				t.Fatalf("%s workers=%d: warm/run fallback disagree: %q vs %q",
+					s, workers, wst.Fallback, rst.Fallback)
+			}
+			if rst.Fallback != "" {
+				t.Errorf("%s workers=%d: fell back: %s", s, workers, rst.Fallback)
+			}
+			snapB, err := SnapshotDevice(fb)
+			if err != nil {
+				t.Fatalf("%s workers=%d: snapshot: %v", s, workers, err)
+			}
+			if !bytes.Equal(snapA, snapB) {
+				t.Fatalf("%s workers=%d: device snapshot diverged (%d vs %d bytes)",
+					s, workers, len(snapB), len(snapA))
+			}
+			repB := report(fb, runB)
+			if !reflect.DeepEqual(repA, repB) {
+				t.Fatalf("%s workers=%d: report diverged:\n%+v\n%+v", s, workers, repB, repA)
+			}
+		}
+	}
+}
+
+// TestShardEquivalenceSnapshotContinuation: run → snapshot → restore →
+// continue through the parallel engine matches the same continuation run
+// sequentially, for every scheme. This pins the engine against hidden
+// state: anything the parallel engine left different from the sequential
+// one would surface as a diverging continuation.
+func TestShardEquivalenceSnapshotContinuation(t *testing.T) {
+	for _, s := range Schemes() {
+		fa, _, _ := runShardEquivSeq(t, s)
+		snap, err := SnapshotDevice(fa)
+		if err != nil {
+			t.Fatalf("%s: snapshot: %v", s, err)
+		}
+		lp := fa.Config().LogicalPages()
+		cont := func() []Generator { return workload.FIO(workload.RandRead, lp, 1, 4, 100, 77) }
+
+		ra, err := RestoreDevice(s, TinyConfig(), snap)
+		if err != nil {
+			t.Fatalf("%s: restore: %v", s, err)
+		}
+		resA := sim.Run(ra, cont(), 0)
+		contSnapA, err := SnapshotDevice(ra)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		for _, workers := range []int{2, 8} {
+			rb, err := RestoreDevice(s, TinyConfig(), snap)
+			if err != nil {
+				t.Fatalf("%s: restore: %v", s, err)
+			}
+			resB, _ := sim.RunSharded(rb, cont(), 0, workers)
+			if resA != resB {
+				t.Fatalf("%s workers=%d: continuation result %+v != %+v", s, workers, resB, resA)
+			}
+			contSnapB, err := SnapshotDevice(rb)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(contSnapA, contSnapB) {
+				t.Fatalf("%s workers=%d: continuation snapshot diverged", s, workers)
+			}
+		}
+	}
+}
+
+// TestShardBarriersRareOnReads is the single-core acceptance form of the
+// speedup criterion: on a read-heavy measured run the engine must spend
+// most events on the barrier-free fast path — barriers well below event
+// count — since only the fast path's flash work shards across cores.
+func TestShardBarriersRareOnReads(t *testing.T) {
+	f, err := New(SchemeLearnedFTL, TinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp := f.Config().LogicalPages()
+	if _, st := sim.WarmedSharded(f, shardWarm(lp), 0, 2); st.Fallback != "" {
+		t.Fatalf("warm-up fell back: %s", st.Fallback)
+	}
+	gens := workload.FIO(workload.RandRead, lp, 1, 8, 300, 13)
+	_, st := sim.RunSharded(f, gens, 0, 2)
+	if st.Events == 0 {
+		t.Fatal("no events")
+	}
+	if st.Barriers*4 > st.Events {
+		t.Fatalf("barriers = %d of %d events (want < 25%%)", st.Barriers, st.Events)
+	}
+	if st.ResolvedReads == 0 || st.ShardOps == 0 {
+		t.Fatalf("fast path unused: %+v", st)
+	}
+}

@@ -1,0 +1,40 @@
+package learnedftl
+
+import (
+	"testing"
+
+	"learnedftl/internal/sim"
+	"learnedftl/internal/workload"
+)
+
+// benchWarmup measures the warm-up hot path — the dominant wall-clock cost
+// of a cold experiment cell — through the parallel intra-run engine at the
+// given shard worker count. It reports simulated flash programs per
+// wall-clock second (Mpg/s, the scale experiment's warm-throughput column)
+// and allocations, guarding the arena-backed path: allocs/op must stay
+// flat as warm-up size grows, since steady-state recording and shard op
+// queues reuse their chunks.
+func benchWarmup(b *testing.B, workers int) {
+	b.Helper()
+	cfg := TinyConfig()
+	b.ReportAllocs()
+	var progs int64
+	for i := 0; i < b.N; i++ {
+		f, err := New(SchemeLearnedFTL, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lp := f.Config().LogicalPages()
+		if _, st := sim.WarmedSharded(f, workload.Warmup(lp, 1, 128, 1), 0, workers); st.Fallback != "" {
+			b.Fatalf("warm-up fell back: %s", st.Fallback)
+		}
+		life := f.Flash().LifetimeCounters()
+		progs += life.TotalPrograms()
+	}
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(progs)/1e6/secs, "Mpg/s")
+	}
+}
+
+func BenchmarkWarmup(b *testing.B)        { benchWarmup(b, 1) }
+func BenchmarkWarmupSharded(b *testing.B) { benchWarmup(b, 2) }
