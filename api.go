@@ -331,6 +331,10 @@ type BenchResult struct {
 	WarmMpgPerSec float64 `json:"warm_mpg_per_sec,omitempty"`
 	ShardWorkers  int     `json:"shard_workers,omitempty"`
 	Table         Table   `json:"table"`
+	// Obs carries latbreak's per-cell phase breakdowns (empty for every
+	// other experiment), so the BENCH trajectory records where latency
+	// goes, not just how much of it there is.
+	Obs []ObsCell `json:"obs,omitempty"`
 }
 
 // RunExperiments runs the given experiment ids in order under cfg and b,
@@ -346,6 +350,7 @@ func RunExperiments(ids []string, cfg Config, b Budget) ([]BenchResult, error) {
 			return nil, fmt.Errorf("learnedftl: unknown experiment %q", id)
 		}
 		b.warm = &warmAccum{}
+		b.obs = &obsAccum{}
 		start := time.Now()
 		tab, err := run(cfg, b)
 		if err != nil {
@@ -355,6 +360,7 @@ func RunExperiments(ids []string, cfg Config, b Budget) ([]BenchResult, error) {
 			Experiment: id,
 			Seconds:    time.Since(start).Seconds(),
 			Table:      tab,
+			Obs:        b.obs.snapshot(),
 		}
 		if progs, secs, workers := b.warm.snapshot(); progs > 0 {
 			r.WarmMpg = float64(progs) / 1e6

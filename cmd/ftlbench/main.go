@@ -109,6 +109,10 @@ func run() int {
 		scaleMinGiB = flag.Float64("scale-min-gib", 0, "scale experiment: smallest geometry rung to run, in GiB (0 = from the tiny device)")
 		scaleMaxGiB = flag.Float64("scale-max-gib", 0, "scale experiment: largest geometry rung to run, in GiB (0 = 2 GiB default; paper scale raises it to 32)")
 
+		traceOut    = flag.String("trace", "", "capture a virtual-time trace of one device to this file (Chrome trace-event JSON, Perfetto-viewable) instead of running experiments")
+		traceScheme = flag.String("trace-scheme", "learnedftl", "-trace: which scheme to capture (dftl | tpftl | leaftl | learnedftl | ideal)")
+		progress    = flag.Bool("progress", false, "live per-cell sweep progress on stderr (stdout tables and BENCH JSON unchanged)")
+
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile (after the run) to this file")
 	)
@@ -224,6 +228,36 @@ func run() int {
 	fmt.Printf("device: %s  logical pages: %d  budget: %d requests/run  workers: %d\n\n",
 		cfg.Geometry, cfg.LogicalPages(), budget.Requests, max(1, budget.Workers))
 
+	if *traceOut != "" {
+		scheme, ok := parseScheme(*traceScheme)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown scheme %q (want one of %v)\n",
+				*traceScheme, learnedftl.Schemes())
+			return 2
+		}
+		trace, tab, err := learnedftl.TraceCapture(scheme, cfg, budget, 0)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		out, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		werr := learnedftl.WriteTrace(trace, out)
+		if cerr := out.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, werr)
+			return 1
+		}
+		fmt.Println(tab)
+		fmt.Printf("wrote %s (%d events; open at ui.perfetto.dev)\n", *traceOut, trace.Len())
+		return 0
+	}
+
 	exps := learnedftl.Experiments()
 	var ids []string
 	if *exp == "all" {
@@ -241,6 +275,19 @@ func run() int {
 	// lost if a later experiment fails.
 	var results []learnedftl.BenchResult
 	for _, id := range ids {
+		if *progress {
+			expID := id
+			expStart := time.Now()
+			budget.Progress = func(done, total int) {
+				// \r-overwritten status on stderr only: stdout tables and
+				// the BENCH JSON stay byte-identical to a silent run.
+				fmt.Fprintf(os.Stderr, "\r%s: %d/%d cells (%.1fs)",
+					expID, done, total, time.Since(expStart).Seconds())
+				if done == total {
+					fmt.Fprintln(os.Stderr)
+				}
+			}
+		}
 		res, err := learnedftl.RunExperiments([]string{id}, cfg, budget)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -286,4 +333,14 @@ func run() int {
 		fmt.Printf("wrote %s\n", name)
 	}
 	return 0
+}
+
+// parseScheme resolves a -trace-scheme name case-insensitively.
+func parseScheme(name string) (learnedftl.Scheme, bool) {
+	for _, s := range learnedftl.Schemes() {
+		if strings.EqualFold(s.String(), name) {
+			return s, true
+		}
+	}
+	return 0, false
 }

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"learnedftl/internal/core"
@@ -92,11 +93,19 @@ type Budget struct {
 	// repopulates it. Shared safely across parallel cells.
 	Checkpoints *persist.Cache `json:"-"`
 
+	// Progress, when set, is invoked after each completed experiment cell
+	// with (cells done, cells total). Callbacks come from whichever worker
+	// goroutine finished the cell and must be safe for concurrent use;
+	// cmd/ftlbench -progress wires a stderr ticker here. Never serialized.
+	Progress func(done, total int) `json:"-"`
+
 	// warm, when set by RunExperiments, accumulates the cold warm-up cost
 	// of every cell (simulated programs over wall clock) so the BENCH
 	// trajectory tracks warm-up throughput — the number ShardWorkers
-	// optimizes.
+	// optimizes. obs likewise accumulates latbreak's per-cell phase
+	// breakdowns for the BENCH JSON.
 	warm *warmAccum
+	obs  *obsAccum
 }
 
 // WarmStats summarizes one device warm-up: deterministic simulated cost
@@ -202,9 +211,18 @@ func (b Budget) openLoopKind() (sim.ArrivalKind, error) {
 // runCells executes n independent experiment cells under the budget's
 // worker pool. Each cell must write its result only into slots it owns
 // (indexed by i), which makes table assembly order-preserving regardless of
-// completion order.
+// completion order. With Budget.Progress set, each completed cell reports
+// (done, total).
 func runCells(b Budget, n int, cell func(i int) error) error {
-	return sweep.Run(b.Workers, sweep.Tasks(n, cell))
+	if b.Progress == nil {
+		return sweep.Run(b.Workers, sweep.Tasks(n, cell))
+	}
+	var done atomic.Int64
+	return sweep.Run(b.Workers, sweep.Tasks(n, func(i int) error {
+		err := cell(i)
+		b.Progress(int(done.Add(1)), n)
+		return err
+	}))
 }
 
 // QuickBudget finishes the whole suite in minutes on a laptop.
@@ -1684,6 +1702,7 @@ func ExperimentList() []ExperimentInfo {
 		{"faultsweep", "UBER, tails and refresh WA vs raw bit error rate", FaultSweep},
 		{"scrublat", "read-disturb data loss and tails, background scrub off vs on", ScrubLat},
 		{"scale", "geometry ladder tiny -> paper: warm-up cost, steady IOPS, model footprint", ScaleExp},
+		{"latbreak", "mean and P99.9 latency decomposed by phase, per scheme", LatBreak},
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 	"learnedftl/internal/learned"
 	"learnedftl/internal/mapping"
 	"learnedftl/internal/nand"
+	"learnedftl/internal/obs"
 	"learnedftl/internal/stats"
 )
 
@@ -385,6 +386,9 @@ func (f *LearnedFTL) readOne(lpn int64, remaining int, now nand.Time) nand.Time 
 		}
 		f.col.ModelHits++
 		f.col.RecordClass(stats.ReadSingle)
+		if tr := f.col.Tracer(); tr != nil {
+			tr.AddPhase(obs.PhaseLookup, f.opt.PredictCost)
+		}
 		// The prediction itself costs CPU time (bitmap check + y=kx+b +
 		// VPPN→PPN translation) before the flash read can issue.
 		return f.fl.Read(ppn, now+f.opt.PredictCost, nand.OpHostData)
@@ -536,6 +540,21 @@ func (f *LearnedFTL) drainEvictions(now nand.Time) nand.Time {
 	return now
 }
 
+// gcTransTraced runs one translation-pool collection inside a GC
+// attribution window, so a host request stalled behind pool GC sees the
+// stall as GC time rather than translation time.
+func (f *LearnedFTL) gcTransTraced(now nand.Time) (nand.Time, bool) {
+	upd := func(movedTPN int, moved nand.PPN) { f.gtd.Update(movedTPN, moved) }
+	tr := f.col.Tracer()
+	if tr == nil {
+		return f.tp.gcTrans(now, upd)
+	}
+	tr.EnterGC(false, now)
+	done, ok := f.tp.gcTrans(now, upd)
+	tr.ExitGC(done)
+	return done, ok
+}
+
 // updateTrans persists translation page tpn through the translation pool.
 func (f *LearnedFTL) updateTrans(tpn int, doRead bool, now nand.Time) nand.Time {
 	old := nand.InvalidPPN
@@ -555,9 +574,7 @@ func (f *LearnedFTL) updateTrans(tpn int, doRead bool, now nand.Time) nand.Time 
 	ppb := f.cfg.Geometry.PagesPerBlock
 	for f.tp.freeSlots() <= ppb {
 		var collected bool
-		now, collected = f.tp.gcTrans(now, func(movedTPN int, moved nand.PPN) {
-			f.gtd.Update(movedTPN, moved)
-		})
+		now, collected = f.gcTransTraced(now)
 		if !collected {
 			break
 		}
@@ -565,9 +582,7 @@ func (f *LearnedFTL) updateTrans(tpn int, doRead bool, now nand.Time) nand.Time 
 	np, ok := f.tp.alloc()
 	for !ok {
 		var collected bool
-		now, collected = f.tp.gcTrans(now, func(movedTPN int, moved nand.PPN) {
-			f.gtd.Update(movedTPN, moved)
-		})
+		now, collected = f.gcTransTraced(now)
 		if !collected {
 			panic("core: translation pool exhausted")
 		}

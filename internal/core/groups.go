@@ -273,6 +273,13 @@ func (f *LearnedFTL) gcGroup(gid int, now nand.Time) nand.Time {
 	f.inGC = true
 	defer func() { f.inGC = false }()
 
+	// One attribution window covers the whole group collection, including
+	// model training charged inside relocation.
+	tr := f.col.Tracer()
+	if tr != nil {
+		tr.EnterGC(false, now)
+	}
+
 	// Claim the relocation target before anything else can drain the pool.
 	if len(f.freeRows) == 0 {
 		panic("core: no free row for GC relocation target")
@@ -314,6 +321,9 @@ func (f *LearnedFTL) gcGroup(gid int, now nand.Time) nand.Time {
 	f.col.RecordGC(now, moved, t-now)
 	cnt := f.fl.Counters()
 	f.col.RecordWASample(t, cnt.TotalPrograms())
+	if tr != nil {
+		tr.ExitGC(t)
+	}
 	return t
 }
 

@@ -1,0 +1,16 @@
+package ftl
+
+import "learnedftl/internal/obs"
+
+// AttachTracer wires an observability tracer (internal/obs) into a device:
+// the collector carries it to the engines and the FTL layers, and the flash
+// array feeds it every operation. A nil tr detaches both, restoring the
+// unobserved hot paths exactly.
+func AttachTracer(f FTL, tr *obs.Tracer) {
+	f.Collector().SetTracer(tr)
+	if tr == nil {
+		f.Flash().SetOpObserver(nil)
+		return
+	}
+	f.Flash().SetOpObserver(tr)
+}

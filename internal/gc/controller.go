@@ -346,6 +346,14 @@ func (c *Controller) collect(victim int, now nand.Time, mode collectMode) (nand.
 	c.inGC = true
 	defer func() { c.inGC = false }()
 
+	// The whole collection — relocation, erase, host finalize — is one
+	// attribution window: a request stalled behind it sees its full span as
+	// GC (or scrub) time, and the per-op hooks inside the window stay quiet.
+	tr := c.col.Tracer()
+	if tr != nil {
+		tr.EnterGC(mode == modeScrub, now)
+	}
+
 	base := c.codec.Encode(c.codec.BlockAddr(victim))
 	t := now
 
@@ -382,7 +390,11 @@ func (c *Controller) collect(victim int, now nand.Time, mode collectMode) (nand.
 				np, ok = c.alloc.AllocGCPageOnChip(victimChip, p.oob.Trans)
 			}
 			if !ok {
-				return c.abort(victim, len(pages), relocated, moved, now, t, mode), false
+				t = c.abort(victim, len(pages), relocated, moved, now, t, mode)
+				if tr != nil {
+					tr.ExitGC(t)
+				}
+				return t, false
 			}
 			var err error
 			done, err = c.fl.Program(np, p.oob, readDone, nand.OpGC)
@@ -447,6 +459,9 @@ func (c *Controller) collect(victim int, now nand.Time, mode collectMode) (nand.
 	}
 	cnt := c.fl.Counters()
 	c.col.RecordWASample(t, cnt.TotalPrograms())
+	if tr != nil {
+		tr.ExitGC(t)
+	}
 	return t, true
 }
 

@@ -19,6 +19,11 @@ package nand
 type ChipView struct {
 	f        *Flash
 	counters OpCounters
+	// ops buffers observed operations while an OpObserver is attached;
+	// Absorb forwards them on the coordinator goroutine so the (single-
+	// threaded) observer never runs on a shard worker. The engine's
+	// barrier mutex handoff orders the buffered appends before Absorb.
+	ops []FlashOp
 }
 
 // View returns a new shard view over the array. The caller owns routing:
@@ -43,6 +48,10 @@ func (v *ChipView) Read(p PPN, after Time) Time {
 	}
 	done := start + f.timing.ReadLatency
 	f.chipBusy[chip] = done
+	if f.opObs != nil {
+		v.ops = append(v.ops, FlashOp{Op: OpRead, Kind: OpHostData, PPN: p,
+			Chip: int32(chip), After: after, Start: start, Done: done})
+	}
 	return done
 }
 
@@ -52,6 +61,14 @@ func (v *ChipView) Read(p PPN, after Time) Time {
 func (v *ChipView) Absorb() {
 	v.f.counters.accumulate(v.counters)
 	v.counters = OpCounters{}
+	if len(v.ops) > 0 {
+		if o := v.f.opObs; o != nil {
+			for i := range v.ops {
+				o.ObserveOp(v.ops[i])
+			}
+		}
+		v.ops = v.ops[:0]
+	}
 }
 
 // ReadLookahead returns the minimum service time of a data-page read: a

@@ -116,7 +116,8 @@ type Flash struct {
 	// per-phase resets experiments perform.
 	lifetime OpCounters
 
-	obs BlockObserver
+	obs   BlockObserver
+	opObs OpObserver
 
 	// fm, when non-nil, injects reliability outcomes into the read,
 	// program and erase paths. rel tallies its events; badCount tracks the
@@ -234,7 +235,13 @@ func (f *Flash) Read(p PPN, after Time, kind OpKind) Time {
 		return f.faultRead(p, after, kind)
 	}
 	f.counters.Reads[kind]++
-	return f.schedule(f.codec.Chip(p), after, f.timing.ReadLatency)
+	chip := f.codec.Chip(p)
+	done := f.schedule(chip, after, f.timing.ReadLatency)
+	if f.opObs != nil {
+		f.opObs.ObserveOp(FlashOp{Op: OpRead, Kind: kind, PPN: p, Chip: int32(chip),
+			After: after, Start: done - f.timing.ReadLatency, Done: done})
+	}
+	return done
 }
 
 // faultRead is the fault-model read path: it maintains the block's
@@ -251,8 +258,9 @@ func (f *Flash) faultRead(p PPN, after Time, kind OpKind) Time {
 	}
 	out := f.fm.ReadFault(p, b.reads, b.erases, age)
 	d := f.timing.ReadLatency
+	var retry Time
 	if out.Retries > 0 {
-		retry := Time(out.Retries) * f.timing.RetryLatency
+		retry = Time(out.Retries) * f.timing.RetryLatency
 		d += retry
 		f.rel.Retries += int64(out.Retries)
 		f.rel.RetryTime += retry
@@ -266,7 +274,13 @@ func (f *Flash) faultRead(p PPN, after Time, kind OpKind) Time {
 	if (out.Scrub || out.Uncorrectable) && !b.bad {
 		f.QueueScrub(bid)
 	}
-	return f.schedule(f.codec.Chip(p), after, d)
+	chip := f.codec.Chip(p)
+	done := f.schedule(chip, after, d)
+	if f.opObs != nil {
+		f.opObs.ObserveOp(FlashOp{Op: OpRead, Kind: kind, PPN: p, Chip: int32(chip),
+			After: after, Start: done - d, Done: done, Retry: retry})
+	}
+	return done
 }
 
 // Program writes a page, setting it valid and recording its OOB. NAND
@@ -300,7 +314,13 @@ func (f *Flash) Program(p PPN, oob OOB, after Time, kind OpKind) (Time, error) {
 		f.rel.ProgramFails++
 		f.markBad(bid)
 		f.notifyBlock(bid)
-		return f.schedule(f.codec.Chip(p), after, f.timing.ProgramLatency), ErrProgramFailed
+		chip := f.codec.Chip(p)
+		done := f.schedule(chip, after, f.timing.ProgramLatency)
+		if f.opObs != nil {
+			f.opObs.ObserveOp(FlashOp{Op: OpProgram, Kind: kind, PPN: p, Chip: int32(chip),
+				After: after, Start: done - f.timing.ProgramLatency, Done: done})
+		}
+		return done, ErrProgramFailed
 	}
 	f.programmed[w] |= m
 	f.valid[w] |= m
@@ -308,9 +328,14 @@ func (f *Flash) Program(p PPN, oob OOB, after Time, kind OpKind) (Time, error) {
 	b.valid++
 	b.writePtr++
 	f.counters.Programs[kind]++
-	done := f.schedule(f.codec.Chip(p), after, f.timing.ProgramLatency)
+	chip := f.codec.Chip(p)
+	done := f.schedule(chip, after, f.timing.ProgramLatency)
 	b.lastMod = done
 	f.notifyBlock(bid)
+	if f.opObs != nil {
+		f.opObs.ObserveOp(FlashOp{Op: OpProgram, Kind: kind, PPN: p, Chip: int32(chip),
+			After: after, Start: done - f.timing.ProgramLatency, Done: done})
+	}
 	return done, nil
 }
 
@@ -362,7 +387,12 @@ func (f *Flash) Erase(blockID int, after Time) (Time, error) {
 	f.counters.Erases++
 	chip := f.codec.Chip(base)
 	f.notifyBlock(blockID)
-	return f.schedule(chip, after, f.timing.EraseLatency), nil
+	done := f.schedule(chip, after, f.timing.EraseLatency)
+	if f.opObs != nil {
+		f.opObs.ObserveOp(FlashOp{Op: OpErase, Kind: OpGC, PPN: base, Chip: int32(chip),
+			After: after, Start: done - f.timing.EraseLatency, Done: done})
+	}
+	return done, nil
 }
 
 // markBad retires a block into the grown bad-block list and voids any

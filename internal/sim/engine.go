@@ -81,6 +81,12 @@ func runLoop(f ftl.FTL, gens []Generator, maxRequests int64, record bool) Result
 	start := f.Flash().MaxChipBusy()
 	h := newEventHeap(len(gens), start)
 	col := f.Collector()
+	tr := col.Tracer()
+	if !record {
+		// Warm-up phases are not attributed: spans belong to the measured
+		// phase only, like the latency records themselves.
+		tr = nil
+	}
 	var issued int64
 	end := start
 	for h.len() > 0 {
@@ -94,6 +100,9 @@ func runLoop(f ftl.FTL, gens []Generator, maxRequests int64, record bool) Result
 				// Thread exhausted: retire it by not re-inserting.
 				break
 			}
+			if tr != nil && !req.Trim {
+				tr.BeginReq(req.Write, now, 0)
+			}
 			done, pages := issue(f, req, now)
 			if record {
 				switch {
@@ -105,6 +114,9 @@ func runLoop(f ftl.FTL, gens []Generator, maxRequests int64, record bool) Result
 				default:
 					col.RecordRead(done-now, pages)
 				}
+			}
+			if tr != nil && !req.Trim {
+				tr.EndReq(done)
 			}
 			if done > end {
 				end = done

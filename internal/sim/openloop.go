@@ -179,6 +179,7 @@ func RunOpenWith(f ftl.FTL, streams []Stream, opt OpenOptions) Result {
 		}
 	}
 
+	tr := col.Tracer()
 	var issued int64
 	end := start
 	for h.len() > 0 {
@@ -207,12 +208,18 @@ func RunOpenWith(f ftl.FTL, streams []Stream, opt OpenOptions) Result {
 			// schedule identically to.
 			wait = 0
 		}
+		if tr != nil && !st.req.Trim {
+			tr.BeginReq(st.req.Write, now, wait)
+		}
 		done, pages := issue(f, st.req, now)
 		if st.req.Trim {
 			// TrimPages counted the trim inside the FTL; metadata ops
 			// join no latency population.
 		} else {
 			col.RecordQueued(i, st.req.Write, wait, done-now, pages)
+			if tr != nil {
+				tr.EndReq(done)
+			}
 		}
 		st.ready = done
 		if done > end {

@@ -190,6 +190,7 @@ type srcState struct {
 	base    nand.Time // issue time of the in-flight resolved read
 	inline  nand.Time // running completion max (inline mode)
 	lb      nand.Time // conservative completion lower bound
+	look    nand.Time // accumulated translation-lookup lag (attribution)
 	slot    int       // reserved collector slot, -1 when not recording
 	pending bool      // a resolved read is awaiting exact completion
 }
@@ -249,11 +250,18 @@ func runSharded(f ftl.FTL, gens []Generator, maxRequests int64, workers int, rec
 		}
 	}
 
+	col := f.Collector()
+	tr := col.Tracer()
+	if !record {
+		// Warm-up phases are not attributed, matching runLoop.
+		tr = nil
+	}
+
 	// outstanding tracks ops emitted since the last quiesce+absorb, so
 	// barrier storms over an op-free stretch (e.g. a pure-write warm-up)
 	// cost nothing.
 	var outstanding int64
-	quiesce := func() {
+	quiesce := func(now nand.Time) {
 		if outstanding == 0 {
 			return
 		}
@@ -261,12 +269,16 @@ func runSharded(f ftl.FTL, gens []Generator, maxRequests int64, workers int, rec
 			if parallel {
 				s.quiesce()
 			}
+			// Absorb forwards the views' buffered trace ops on this
+			// (coordinator) goroutine — the tracer stays single-threaded.
 			s.view.Absorb()
 		}
 		outstanding = 0
+		if tr != nil {
+			tr.Barrier(now)
+		}
 	}
 
-	col := f.Collector()
 	start := fl.MaxChipBusy()
 	h := newEventHeap(len(gens), start)
 	src := make([]srcState, len(gens))
@@ -289,6 +301,9 @@ func runSharded(f ftl.FTL, gens []Generator, maxRequests int64, workers int, rec
 		if record && s.slot >= 0 {
 			col.FillRead(s.slot, done-s.base)
 		}
+		if tr != nil {
+			tr.RecordResolved(done-s.base, s.look)
+		}
 		if done > end {
 			end = done
 		}
@@ -302,6 +317,7 @@ func runSharded(f ftl.FTL, gens []Generator, maxRequests int64, workers int, rec
 		s := &src[i]
 		emits[i] = func(ppn nand.PPN, lag nand.Time) {
 			after := s.base + lag
+			s.look += lag
 			st.ShardOps++
 			outstanding++
 			if !parallel {
@@ -358,6 +374,7 @@ func runSharded(f ftl.FTL, gens []Generator, maxRequests int64, workers int, rec
 				}
 				s := &src[th]
 				s.base, s.inline, s.lb = now, now, now
+				s.look = 0
 				if sr.TryReadPages(req.LPN, pages, emits[th]) {
 					st.ResolvedReads++
 					s.slot = -1
@@ -374,19 +391,31 @@ func runSharded(f ftl.FTL, gens []Generator, maxRequests int64, workers int, rec
 						if record && s.slot >= 0 {
 							col.FillRead(s.slot, done-now)
 						}
+						if tr != nil {
+							tr.RecordResolved(done-now, s.look)
+						}
 					}
 				} else {
-					quiesce()
+					quiesce(now)
 					st.Barriers++
+					if tr != nil {
+						tr.BeginReq(false, now, 0)
+					}
 					var pages2 int
 					done, pages2 = issue(f, req, now)
 					if record {
 						col.RecordRead(done-now, pages2)
 					}
+					if tr != nil {
+						tr.EndReq(done)
+					}
 				}
 			} else {
-				quiesce()
+				quiesce(now)
 				st.Barriers++
+				if tr != nil && !req.Trim {
+					tr.BeginReq(req.Write, now, 0)
+				}
 				var pages int
 				done, pages = issue(f, req, now)
 				if record {
@@ -395,6 +424,9 @@ func runSharded(f ftl.FTL, gens []Generator, maxRequests int64, workers int, rec
 					case req.Write:
 						col.RecordWrite(done-now, pages)
 					}
+				}
+				if tr != nil && !req.Trim {
+					tr.EndReq(done)
 				}
 			}
 			if lazy {
@@ -426,7 +458,7 @@ func runSharded(f ftl.FTL, gens []Generator, maxRequests int64, workers int, rec
 			resolve(i)
 		}
 	}
-	quiesce()
+	quiesce(end)
 	if parallel {
 		for _, s := range shards {
 			s.close()

@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	"learnedftl/internal/nand"
+	"learnedftl/internal/obs"
 )
 
 // ReadClass classifies a host read request by how many serialized flash
@@ -111,8 +112,20 @@ type Collector struct {
 
 	// waSamples tracks cumulative write amplification over virtual time:
 	// one sample per GC completion, pairing the host pages written so far
-	// with the flash programs issued so far.
+	// with the flash programs issued so far. The series is stride-
+	// downsampled: when it reaches waSampleCap points, every other point is
+	// dropped and only every waStride-th subsequent offer is recorded, so
+	// memory stays O(waSampleCap) on multi-billion-op streamed runs while
+	// shorter runs keep every sample.
 	waSamples []WASample
+	waSeen    int64
+	waStride  int64
+
+	// tr, when non-nil, is the attached observability tracer
+	// (internal/obs). It is run state like the series arenas — Reset
+	// preserves it — but it accumulates across phases; experiments attach a
+	// fresh tracer after warm-up to scope it to the measured phase.
+	tr *obs.Tracer
 
 	// Model bookkeeping (LearnedFTL).
 	ModelTrainings int64
@@ -122,6 +135,14 @@ type Collector struct {
 
 // NewCollector returns an empty Collector.
 func NewCollector() *Collector { return &Collector{} }
+
+// SetTracer attaches (or with nil detaches) the observability tracer. The
+// engines and FTL layers consult Tracer() on their hot paths; with no
+// tracer attached every consultation is a nil check.
+func (c *Collector) SetTracer(t *obs.Tracer) { c.tr = t }
+
+// Tracer returns the attached observability tracer (nil when disabled).
+func (c *Collector) Tracer() *obs.Tracer { return c.tr }
 
 // RecordRead records a completed host read request of the given latency.
 func (c *Collector) RecordRead(lat nand.Time, pages int) {
@@ -293,15 +314,38 @@ func (s WASample) WA() float64 {
 	return float64(s.FlashPrograms) / float64(s.HostPages)
 }
 
+// waSampleCap bounds the WA-over-time series; reaching it halves the
+// series and doubles the recording stride.
+const waSampleCap = 4096
+
 // RecordWASample appends one WA-over-time point (typically at each GC
 // completion) pairing the current host write count with the device's
-// cumulative program count.
+// cumulative program count. Below waSampleCap points every offer is
+// recorded; beyond, the series is stride-downsampled so it never exceeds
+// the cap — runs of any length keep an evenly-thinned series in O(1)
+// memory.
 func (c *Collector) RecordWASample(t nand.Time, flashPrograms int64) {
+	seen := c.waSeen
+	c.waSeen++
+	if c.waStride > 1 && seen%c.waStride != 0 {
+		return
+	}
 	c.waSamples = append(c.waSamples, WASample{
 		T:             t,
 		HostPages:     c.HostWritePages,
 		FlashPrograms: flashPrograms,
 	})
+	if len(c.waSamples) >= waSampleCap {
+		half := c.waSamples[:0]
+		for i := 0; i < len(c.waSamples); i += 2 {
+			half = append(half, c.waSamples[i])
+		}
+		c.waSamples = half
+		if c.waStride < 1 {
+			c.waStride = 1
+		}
+		c.waStride *= 2
+	}
 }
 
 // WAOverTime returns the recorded write-amplification series.
@@ -311,13 +355,14 @@ func (c *Collector) WAOverTime() []WASample { return c.waSamples }
 // The latency/wait arenas are kept and emptied rather than dropped, so the
 // next phase records into already-allocated chunks.
 func (c *Collector) Reset() {
-	rl, wl, rw, ww := c.readLat, c.writeLat, c.readWait, c.writeWait
+	rl, wl, rw, ww, tr := c.readLat, c.writeLat, c.readWait, c.writeWait, c.tr
 	*c = Collector{}
 	rl.reset()
 	wl.reset()
 	rw.reset()
 	ww.reset()
 	c.readLat, c.writeLat, c.readWait, c.writeWait = rl, wl, rw, ww
+	c.tr = tr
 }
 
 // Percentile returns the p-th percentile (0 < p <= 100) of the merged
@@ -533,6 +578,13 @@ type Report struct {
 	RefreshPages   int64
 	Failed         bool
 	FailReason     string
+
+	// Obs is the per-request latency attribution breakdown and Metrics the
+	// sampled metric series, both filled by BuildReport only when an
+	// observability tracer was attached to the collector — with
+	// observability off the Report is exactly what it always was.
+	Obs     *obs.Breakdown     `json:"obs,omitempty"`
+	Metrics []obs.MetricSeries `json:"metrics,omitempty"`
 }
 
 // AddWear attaches the device's erase distribution and the projected
@@ -625,6 +677,13 @@ func BuildReport(name string, c *Collector, flash nand.OpCounters,
 	}
 	if c.HostWritePages > 0 {
 		r.WriteAmp = float64(flash.TotalPrograms()) / float64(c.HostWritePages)
+	}
+	if tr := c.Tracer(); tr != nil {
+		b := tr.Breakdown()
+		r.Obs = &b
+		if reg := tr.Registry(); reg != nil {
+			r.Metrics = reg.Series()
+		}
 	}
 	return r
 }
