@@ -335,6 +335,11 @@ type BenchResult struct {
 	// other experiment), so the BENCH trajectory records where latency
 	// goes, not just how much of it there is.
 	Obs []ObsCell `json:"obs,omitempty"`
+	// Fleet carries the fleet experiment's per-cell array-level aggregates
+	// (empty for every other experiment): cross-device wear CV, the
+	// failed-device roster and the loss/rebuild tallies per placement ×
+	// scenario cell.
+	Fleet []FleetCell `json:"fleet,omitempty"`
 }
 
 // RunExperiments runs the given experiment ids in order under cfg and b,
@@ -351,6 +356,7 @@ func RunExperiments(ids []string, cfg Config, b Budget) ([]BenchResult, error) {
 		}
 		b.warm = &warmAccum{}
 		b.obs = &obsAccum{}
+		b.fleet = &fleetAccum{}
 		start := time.Now()
 		tab, err := run(cfg, b)
 		if err != nil {
@@ -361,6 +367,7 @@ func RunExperiments(ids []string, cfg Config, b Budget) ([]BenchResult, error) {
 			Seconds:    time.Since(start).Seconds(),
 			Table:      tab,
 			Obs:        b.obs.snapshot(),
+			Fleet:      b.fleet.snapshot(),
 		}
 		if progs, secs, workers := b.warm.snapshot(); progs > 0 {
 			r.WarmMpg = float64(progs) / 1e6

@@ -122,8 +122,8 @@ func TestExperimentRegistry(t *testing.T) {
 	ids := ExperimentIDs()
 	want := []string{"faultsweep", "fig14", "fig15", "fig16", "fig17", "fig18",
 		"fig19", "fig2", "fig20", "fig21", "fig22", "fig3", "fig6", "fig7",
-		"gclat", "gcsweep", "latbreak", "loadsweep", "mountlat", "scale",
-		"scrublat", "table2", "tenantmix"}
+		"fleet", "gclat", "gcsweep", "latbreak", "loadsweep", "mountlat",
+		"scale", "scrublat", "table2", "tenantmix"}
 	if len(ids) != len(want) {
 		t.Fatalf("ids = %v", ids)
 	}

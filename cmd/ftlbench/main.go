@@ -104,6 +104,10 @@ func run() int {
 		faultBER     = flag.Float64("fault-ber", 0, "faultsweep: single raw-BER rung (0 = the built-in decade ladder)")
 		faultSchemes = flag.String("fault-schemes", "", "faultsweep/scrublat: comma-separated scheme subset, e.g. dftl,ideal (\"\" = all five)")
 
+		fleetDevices = flag.Int("fleet-devices", 0, "fleet: number of devices in the array (0 = 8)")
+		placement    = flag.String("placement", "", "fleet: comma-separated placement policies, e.g. striping,hash (\"\" = all three)")
+		replicas     = flag.Int("replicas", 0, "fleet: replication copy count for the replicate policy (0 = 2)")
+
 		checkpointDir = flag.String("checkpoint-dir", "", "directory of warm-device checkpoints: cells restore a cached warmed device instead of re-simulating warm-up (tables stay byte-identical); cold cells populate it")
 
 		scaleMinGiB = flag.Float64("scale-min-gib", 0, "scale experiment: smallest geometry rung to run, in GiB (0 = from the tiny device)")
@@ -201,6 +205,9 @@ func run() int {
 	budget.OPRatio = *opRatio
 	budget.FaultBER = *faultBER
 	budget.FaultSchemes = *faultSchemes
+	budget.FleetDevices = *fleetDevices
+	budget.FleetPlacement = *placement
+	budget.FleetReplicas = *replicas
 	// Only explicit flags override the scale ladder window: the unset 0
 	// must not clobber PaperBudget's 32 GiB cap.
 	if *scaleMinGiB > 0 {

@@ -76,6 +76,15 @@ type Budget struct {
 	FaultBER     float64 `json:"fault_ber,omitempty"`
 	FaultSchemes string  `json:"fault_schemes,omitempty"`
 
+	// Fleet-experiment knobs. FleetDevices is the array width (0 = 8),
+	// FleetPlacement comma-selects the placement policies swept ("" = all
+	// three) and FleetReplicas the replication copy count (0 = 2) — the
+	// narrowing knobs exist so a CI smoke cell can pin a 4-device array
+	// and two policies.
+	FleetDevices   int    `json:"fleet_devices,omitempty"`
+	FleetPlacement string `json:"fleet_placement,omitempty"`
+	FleetReplicas  int    `json:"fleet_replicas,omitempty"`
+
 	// Scale-experiment knobs. The scale experiment climbs a geometry
 	// ladder from the tiny device up to the paper's 32 GiB one;
 	// ScaleMaxGiB caps the ladder (0 = a 2 GiB default that keeps quick
@@ -103,9 +112,11 @@ type Budget struct {
 	// of every cell (simulated programs over wall clock) so the BENCH
 	// trajectory tracks warm-up throughput — the number ShardWorkers
 	// optimizes. obs likewise accumulates latbreak's per-cell phase
-	// breakdowns for the BENCH JSON.
-	warm *warmAccum
-	obs  *obsAccum
+	// breakdowns, and fleet the fleet experiment's per-cell array-level
+	// aggregates, for the BENCH JSON.
+	warm  *warmAccum
+	obs   *obsAccum
+	fleet *fleetAccum
 }
 
 // WarmStats summarizes one device warm-up: deterministic simulated cost
@@ -1703,6 +1714,7 @@ func ExperimentList() []ExperimentInfo {
 		{"scrublat", "read-disturb data loss and tails, background scrub off vs on", ScrubLat},
 		{"scale", "geometry ladder tiny -> paper: warm-up cost, steady IOPS, model footprint", ScaleExp},
 		{"latbreak", "mean and P99.9 latency decomposed by phase, per scheme", LatBreak},
+		{"fleet", "multi-device array: per-tenant tails and wear CV per placement policy, with mid-run device failure + rebuild", FleetExp},
 	}
 }
 

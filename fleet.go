@@ -1,0 +1,368 @@
+package learnedftl
+
+// The root-level fleet surface: re-exports of internal/fleet's array and
+// placement types, the checkpoint-shared fleet warm-up, and the fleet
+// experiment — per-tenant tail latency and cross-device wear imbalance
+// versus placement policy on a multi-device array, with a mid-run device
+// failure + rebuild scenario beside the healthy baseline.
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"learnedftl/internal/fleet"
+	"learnedftl/internal/nand"
+	"learnedftl/internal/persist"
+	"learnedftl/internal/sim"
+	"learnedftl/internal/stats"
+	"learnedftl/internal/sweep"
+	"learnedftl/internal/workload"
+)
+
+// Re-exported fleet types (see internal/fleet and internal/stats).
+type (
+	// FleetConfig parameterizes a fleet layout: device count, placement
+	// policy, replication factor, stripe unit, hash virtual nodes and the
+	// utilization headroom rebuild re-homes into.
+	FleetConfig = fleet.Config
+	// FleetPolicy names a placement policy.
+	FleetPolicy = fleet.Policy
+	// FleetArray is an array of devices behind a placement layer; drive
+	// it with RunOpenLoopFleet.
+	FleetArray = fleet.Array
+	// FleetLayout is a constructed placement over concrete capacities.
+	FleetLayout = fleet.Layout
+	// FleetReport merges per-device reports under the host-level view.
+	FleetReport = stats.FleetReport
+	// FleetFailure surfaces one failed device in an aggregated report.
+	FleetFailure = stats.FleetFailure
+)
+
+// The built-in placement policies (see internal/fleet).
+const (
+	// FleetStriping is RAID-0 striping: maximum parallelism, no
+	// redundancy.
+	FleetStriping = fleet.Striping
+	// FleetReplicate keeps K chained-declustered copies per stripe unit;
+	// reads go to the least-busy replica, writes fan out, and a failed
+	// device rebuilds onto survivors.
+	FleetReplicate = fleet.Replicate
+	// FleetHash places units by consistent hashing with virtual nodes
+	// and bounded loads.
+	FleetHash = fleet.Hash
+)
+
+// FleetPolicies returns the built-in placement policies in presentation
+// order.
+func FleetPolicies() []FleetPolicy { return fleet.Policies() }
+
+// ParseFleetPolicy maps a flag value to a FleetPolicy, reporting whether
+// the name was recognized ("" parses as striping, the default).
+func ParseFleetPolicy(s string) (FleetPolicy, bool) { return fleet.ParsePolicy(s) }
+
+// NewFleet assembles an array over already-built devices (typically
+// identical warmed clones): the layout is constructed against the first
+// device's logical capacity and validated against all of them.
+func NewFleet(fc FleetConfig, devs []FTL) (*FleetArray, error) {
+	if len(devs) == 0 {
+		return nil, fmt.Errorf("learnedftl: fleet needs at least one device")
+	}
+	lay, err := fleet.NewLayout(fc, devs[0].Config().LogicalPages())
+	if err != nil {
+		return nil, err
+	}
+	return fleet.NewArray(lay, devs)
+}
+
+// RunOpenLoopFleet drives a fleet array with the open-loop host model —
+// the same arrival processes, queueing semantics and deterministic
+// scheduling as RunOpenLoopWith on a single device, under one virtual
+// clock across all devices. Host-level latencies land in the array's
+// collector; OpenOptions.BackgroundGC additionally offers device-idle gaps
+// to every device's background collector and to the rebuild pump.
+func RunOpenLoopFleet(a *FleetArray, streams []Stream, opt OpenOptions) RunResult {
+	return sim.RunOpenTarget(a, streams, opt)
+}
+
+// newWarmedFleet builds n identical warmed devices sharing one warm-up:
+// device 0 comes from newWarmed — checkpoint-cache aware, warm-up sharded
+// across Budget.ShardWorkers — and the remaining n-1 are restored from its
+// bit-exact in-memory snapshot instead of re-simulating n warm-ups. For a
+// scheme without snapshot support each clone warms independently.
+func newWarmedFleet(s Scheme, cfg Config, b Budget, n int) ([]FTL, error) {
+	f0, err := newWarmed(s, cfg, b)
+	if err != nil {
+		return nil, err
+	}
+	devs := make([]FTL, n)
+	devs[0] = f0
+	if n == 1 {
+		return devs, nil
+	}
+	dev, ok := f0.(persist.Device)
+	if !ok {
+		for i := 1; i < n; i++ {
+			fi, err := New(s, cfg)
+			if err != nil {
+				return nil, err
+			}
+			warmDevice(fi, b)
+			devs[i] = fi
+		}
+		return devs, nil
+	}
+	data := persist.Snapshot(dev, deviceFingerprint(f0))
+	for i := 1; i < n; i++ {
+		fi, err := New(s, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := restoreInto(fi, data); err != nil {
+			return nil, err
+		}
+		devs[i] = fi
+	}
+	return devs, nil
+}
+
+// FleetCell is one fleet-experiment measurement in the BENCH JSON: the
+// placement × scenario cell's fleet-level aggregates — cross-device wear
+// imbalance, the failed-device roster and the loss/rebuild tallies —
+// alongside the per-tenant latency summaries.
+type FleetCell struct {
+	Policy        string               `json:"policy"`
+	Scenario      string               `json:"scenario"`
+	Devices       int                  `json:"devices"`
+	WearCVDevices float64              `json:"wear_cv_devices"`
+	Failed        []FleetFailure       `json:"failed,omitempty"`
+	LostRequests  int64                `json:"lost_requests,omitempty"`
+	LostUnits     int64                `json:"lost_units,omitempty"`
+	RebuiltUnits  int64                `json:"rebuilt_units,omitempty"`
+	PendingUnits  int64                `json:"pending_units,omitempty"`
+	Tenants       []stats.StreamReport `json:"tenants,omitempty"`
+}
+
+// fleetAccum collects FleetCells across the experiment's concurrent cells,
+// indexed so assembly order is deterministic (the obsAccum idiom).
+type fleetAccum struct {
+	mu    sync.Mutex
+	cells map[int]FleetCell
+}
+
+func (a *fleetAccum) add(i int, c FleetCell) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	if a.cells == nil {
+		a.cells = make(map[int]FleetCell)
+	}
+	a.cells[i] = c
+	a.mu.Unlock()
+}
+
+func (a *fleetAccum) snapshot() []FleetCell {
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.cells) == 0 {
+		return nil
+	}
+	max := 0
+	for i := range a.cells {
+		if i > max {
+			max = i
+		}
+	}
+	out := make([]FleetCell, 0, len(a.cells))
+	for i := 0; i <= max; i++ {
+		if c, ok := a.cells[i]; ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// fleetPolicyList resolves the budget's placement subset, erroring on
+// typos so a misspelled policy never silently collapses the sweep.
+func (b Budget) fleetPolicyList() ([]FleetPolicy, error) {
+	if b.FleetPlacement == "" {
+		return FleetPolicies(), nil
+	}
+	var out []FleetPolicy
+	for _, s := range strings.Split(b.FleetPlacement, ",") {
+		name := strings.TrimSpace(s)
+		p, ok := ParseFleetPolicy(name)
+		if !ok || name == "" {
+			return nil, fmt.Errorf("learnedftl: unknown placement policy %q (want one of %v)",
+				name, FleetPolicies())
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// fleetScenarios are the two columns of the fleet experiment: the healthy
+// baseline and a mid-run device failure with rebuild.
+var fleetScenarios = []string{"healthy", "failure"}
+
+// fleetUtil is the fleet experiment's utilization factor: enough headroom
+// that a replicated 8-device array can fully re-home a dead device's units
+// onto survivors (needs Util <= (N-1)/N).
+const fleetUtil = 0.70
+
+// FleetExp measures a multi-device array under skewed two-tenant load for
+// every placement policy, healthy and with device 1 killed halfway through
+// the run: per-tenant P99/P99.9 cross-device latency, queue-wait share,
+// the wear-imbalance CV across devices, and the failure's blast radius
+// (lost requests under the single-copy policies, rebuild progress under
+// replication — rebuild traffic runs in idle gaps and competes with the
+// foreground tenants). All devices run LearnedFTL and share one warm-up
+// via snapshot cloning; cells are hermetic, so tables are byte-identical
+// at any Budget.Workers. Budget.FleetDevices sets the array width (default
+// 8), Budget.FleetPlacement narrows the policies, Budget.FleetReplicas the
+// copy count (default 2), Budget.OfferedIOPS the operating point.
+func FleetExp(cfg Config, b Budget) (Table, error) {
+	n := b.FleetDevices
+	if n == 0 {
+		n = 8
+	}
+	if n < 1 {
+		return Table{}, fmt.Errorf("learnedftl: fleet needs >= 1 device, got %d", n)
+	}
+	k := b.FleetReplicas
+	if k == 0 {
+		k = 2
+	}
+	policies, err := b.fleetPolicyList()
+	if err != nil {
+		return Table{}, err
+	}
+	kind, err := b.openLoopKind()
+	if err != nil {
+		return Table{}, err
+	}
+	threads := b.Threads
+	if threads < 2 {
+		threads = 2
+	}
+	const tenants = 2
+	g := sweep.NewGrid(len(policies), len(fleetScenarios))
+	rows := make([][]string, g.Cells()*tenants)
+	err = runCells(b, g.Cells(), func(i int) error {
+		pol := policies[g.Coord(i, 0)]
+		scenario := fleetScenarios[g.Coord(i, 1)]
+		devs, err := newWarmedFleet(SchemeLearnedFTL, cfg, b, n)
+		if err != nil {
+			return err
+		}
+		arr, err := NewFleet(FleetConfig{
+			Devices: n, Policy: pol, Replicas: k, Util: fleetUtil,
+		}, devs)
+		if err != nil {
+			return err
+		}
+		if scenario == "failure" {
+			if err := arr.ScheduleFailure(1, int64(b.Requests)/2, "injected mid-run fault"); err != nil {
+				return err
+			}
+		}
+		// Operating point: a quarter of the ideal request rate at the run's
+		// concurrency, priced through the mix's per-request service demand
+		// (the tenantmix idiom — 8-page writes cost far more than 1-page
+		// reads, and pricing everything at read latency would put the write
+		// tenant in deep overload with no idle gaps left for background GC
+		// or rebuild). The array multiplies the chip budget, so the rate
+		// scales with the device count until streams are the bottleneck.
+		total := b.OfferedIOPS
+		if total <= 0 {
+			conc := threads
+			if ch := n * cfg.Geometry.Chips(); conc > ch {
+				conc = ch
+			}
+			demand := 0.7*float64(cfg.Timing.ReadLatency) +
+				0.3*8*float64(cfg.Timing.ProgramLatency)
+			total = 0.25 * float64(conc) * float64(nand.Second) / demand
+		}
+		// Skewed two-tenant load over the fleet's logical space: a hot
+		// read tenant over the leading quarter (placement skew shows up as
+		// cross-device wear and queue imbalance) and a write tenant over
+		// the whole space (8-page requests span stripe units, exercising
+		// fan-out and replication write costs).
+		lp := arr.Layout().LogicalPages
+		spt := threads / 2
+		per := b.Requests / threads
+		if per < 1 {
+			per = 1
+		}
+		hot := lp / 4
+		if hot < 1 {
+			hot = 1
+		}
+		streams := append(
+			workload.OpenFIO("hotread", workload.RandRead, hot, 1, spt, per, kind, 0.7*total, 5557),
+			workload.OpenFIO("write", workload.RandWrite, lp, 8, spt, per, kind, 0.3*total, 5659)...)
+		for _, f := range devs {
+			f.Collector().Reset()
+			f.Flash().ResetCounters()
+		}
+		res := RunOpenLoopFleet(arr, streams, OpenOptions{BackgroundGC: true})
+		var sum nand.OpCounters
+		devReports := make([]stats.Report, n)
+		for j, f := range devs {
+			sum.Add(f.Flash().Counters())
+			devReports[j] = report(f, res)
+		}
+		host := stats.BuildReport("fleet/"+string(pol), arr.Collector(), sum,
+			res.Makespan(), cfg.Geometry.PageSize, cfg.Energy)
+		fr := stats.AggregateFleet(host, devReports)
+		failed := "-"
+		if len(fr.Failed) > 0 {
+			names := make([]string, len(fr.Failed))
+			for j, df := range fr.Failed {
+				names[j] = fmt.Sprintf("dev%d", df.Device)
+			}
+			failed = strings.Join(names, "+")
+		}
+		rebuilt := "-"
+		if pol == FleetReplicate && scenario == "failure" {
+			rebuilt = fmt.Sprintf("%d/%d", arr.Rebuilt(), arr.Rebuilt()+arr.PendingRebuild())
+		}
+		for j, sr := range fr.Host.Streams {
+			if j >= tenants {
+				break
+			}
+			rows[i*tenants+j] = []string{
+				string(pol), scenario, sr.Name,
+				fmt.Sprint(sr.Requests), lat(sr.P99), lat(sr.P999), pct(sr.WaitShare),
+				f2(fr.WearCVDevices), failed,
+				fmt.Sprint(arr.LostRequests()), rebuilt,
+			}
+		}
+		b.fleet.add(i, FleetCell{
+			Policy:        string(pol),
+			Scenario:      scenario,
+			Devices:       n,
+			WearCVDevices: fr.WearCVDevices,
+			Failed:        fr.Failed,
+			LostRequests:  arr.LostRequests(),
+			LostUnits:     arr.LostUnits(),
+			RebuiltUnits:  arr.Rebuilt(),
+			PendingUnits:  arr.PendingRebuild(),
+			Tenants:       fr.Host.Streams,
+		})
+		return nil
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	return Table{
+		Title: fmt.Sprintf("Fleet: %d-device LearnedFTL array, two tenants, per placement policy (failure = device 1 killed mid-run; rebuild = re-replicated units done/total)", n),
+		Header: []string{"placement", "scenario", "tenant", "requests", "p99", "p99.9", "wait",
+			"wear CV dev", "failed", "lost req", "rebuilt"},
+		Rows: rows,
+	}, nil
+}

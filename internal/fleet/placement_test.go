@@ -1,0 +1,169 @@
+package fleet
+
+import "testing"
+
+// layoutFor builds a layout or fails the test.
+func layoutFor(t *testing.T, cfg Config, perDevicePages int64) *Layout {
+	t.Helper()
+	lay, err := NewLayout(cfg, perDevicePages)
+	if err != nil {
+		t.Fatalf("NewLayout(%+v): %v", cfg, err)
+	}
+	return lay
+}
+
+// TestPlacementCollisionFree enumerates every unit of every policy and
+// asserts each (device, slot) pair is assigned at most once, every slot is
+// below the layout's used-slot high-water mark, and no device exceeds its
+// capacity.
+func TestPlacementCollisionFree(t *testing.T) {
+	const perDev = 64 * 8 // 64 units of 8 pages per device
+	for _, cfg := range []Config{
+		{Devices: 4, Policy: Striping},
+		{Devices: 4, Policy: Replicate, Replicas: 2},
+		{Devices: 5, Policy: Replicate, Replicas: 3},
+		{Devices: 4, Policy: Hash},
+		{Devices: 7, Policy: Hash, Util: 0.6},
+	} {
+		lay := layoutFor(t, cfg, perDev)
+		maxSlots := lay.PerDevicePages / int64(lay.Cfg.Stripe)
+		seen := make(map[Loc]int64)
+		var locs []Loc
+		for u := int64(0); u < lay.Units; u++ {
+			locs = lay.Place.Locate(u, locs[:0])
+			if len(locs) != lay.Place.Copies() {
+				t.Fatalf("%s: unit %d has %d locations, want %d", cfg.Policy, u, len(locs), lay.Place.Copies())
+			}
+			for _, loc := range locs {
+				if loc.Dev < 0 || int(loc.Dev) >= cfg.Devices {
+					t.Fatalf("%s: unit %d on device %d of %d", cfg.Policy, u, loc.Dev, cfg.Devices)
+				}
+				if loc.Slot < 0 || loc.Slot >= maxSlots {
+					t.Fatalf("%s: unit %d slot %d exceeds device capacity %d", cfg.Policy, u, loc.Slot, maxSlots)
+				}
+				if loc.Slot >= lay.UsedSlots[loc.Dev] {
+					t.Fatalf("%s: unit %d slot %d above used high-water %d on device %d",
+						cfg.Policy, u, loc.Slot, lay.UsedSlots[loc.Dev], loc.Dev)
+				}
+				if prev, dup := seen[loc]; dup {
+					t.Fatalf("%s: units %d and %d collide at %+v", cfg.Policy, prev, u, loc)
+				}
+				seen[loc] = u
+			}
+		}
+	}
+}
+
+// TestPlacementIdentityOneDevice pins the passthrough invariant: on a
+// 1-device array every policy is the identity mapping (unit u at slot u),
+// so an Array over one device issues exactly the page runs the device
+// would see driven directly.
+func TestPlacementIdentityOneDevice(t *testing.T) {
+	const perDev = 32 * 8
+	for _, pol := range Policies() {
+		cfg := Config{Devices: 1, Policy: pol}
+		if pol == Replicate {
+			cfg.Replicas = 1
+		}
+		lay, err := NewLayout(cfg, perDev)
+		if pol == Replicate {
+			// Replication on one device is rejected (needs >= 2 copies on
+			// >= 2 devices), so the passthrough policies are striping/hash.
+			if err == nil {
+				t.Fatalf("replicate on 1 device unexpectedly accepted")
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("NewLayout(%s, 1 device): %v", pol, err)
+		}
+		if lay.LogicalPages != perDev {
+			t.Fatalf("%s: 1-device layout exposes %d pages, want %d", pol, lay.LogicalPages, perDev)
+		}
+		var locs []Loc
+		for u := int64(0); u < lay.Units; u++ {
+			locs = lay.Place.Locate(u, locs[:0])
+			if len(locs) != 1 || locs[0] != (Loc{Dev: 0, Slot: u}) {
+				t.Fatalf("%s: unit %d maps to %+v, want identity", pol, u, locs)
+			}
+		}
+	}
+}
+
+// TestHashBoundedLoad fills the ring to 100% utilization: bounded loads
+// must land exactly unitsPerDev units on every device, never overflowing
+// any of them.
+func TestHashBoundedLoad(t *testing.T) {
+	const perDev = 48 * 8
+	lay := layoutFor(t, Config{Devices: 4, Policy: Hash}, perDev)
+	unitsPerDev := perDev / int64(lay.Cfg.Stripe)
+	if lay.Units != 4*unitsPerDev {
+		t.Fatalf("full-util hash layout exposes %d units, want %d", lay.Units, 4*unitsPerDev)
+	}
+	counts := make([]int64, 4)
+	var locs []Loc
+	for u := int64(0); u < lay.Units; u++ {
+		locs = lay.Place.Locate(u, locs[:0])
+		counts[locs[0].Dev]++
+	}
+	for d, c := range counts {
+		if c != unitsPerDev {
+			t.Fatalf("device %d holds %d units, want exactly %d at full utilization", d, c, unitsPerDev)
+		}
+	}
+}
+
+// TestHashSeedPerturbsRing pins that the ring seed actually changes the
+// assignment (and that equal seeds reproduce it).
+func TestHashSeedPerturbsRing(t *testing.T) {
+	const perDev = 64 * 8
+	a := layoutFor(t, Config{Devices: 4, Policy: Hash, Seed: 1, Util: 0.5}, perDev)
+	b := layoutFor(t, Config{Devices: 4, Policy: Hash, Seed: 1, Util: 0.5}, perDev)
+	c := layoutFor(t, Config{Devices: 4, Policy: Hash, Seed: 2, Util: 0.5}, perDev)
+	same, diff := 0, 0
+	var la, lb, lc []Loc
+	for u := int64(0); u < a.Units; u++ {
+		la, lb, lc = a.Place.Locate(u, la[:0]), b.Place.Locate(u, lb[:0]), c.Place.Locate(u, lc[:0])
+		if la[0] != lb[0] {
+			t.Fatalf("same seed, unit %d differs: %+v vs %+v", u, la[0], lb[0])
+		}
+		if la[0] == lc[0] {
+			same++
+		} else {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatalf("seeds 1 and 2 produced identical rings (%d units)", same)
+	}
+}
+
+// TestLayoutValidation rejects the nonsense configurations loudly.
+func TestLayoutValidation(t *testing.T) {
+	const perDev = 64 * 8
+	for _, cfg := range []Config{
+		{Devices: 0},
+		{Devices: 2, Policy: "raid6"},
+		{Devices: 2, Policy: Replicate, Replicas: 3},
+		{Devices: 2, Util: 1.5},
+		{Devices: 2, Stripe: int(perDev) + 8},
+	} {
+		if _, err := NewLayout(cfg, perDev); err == nil {
+			t.Errorf("NewLayout(%+v) accepted, want error", cfg)
+		}
+	}
+}
+
+// TestUtilHeadroom pins the rebuild capacity arithmetic: at Util = 0.5 a
+// replicated layout leaves at least half of every device's slots above the
+// used high-water mark.
+func TestUtilHeadroom(t *testing.T) {
+	const perDev = 64 * 8
+	lay := layoutFor(t, Config{Devices: 4, Policy: Replicate, Replicas: 2, Util: 0.5}, perDev)
+	maxSlots := lay.PerDevicePages / int64(lay.Cfg.Stripe)
+	for d, used := range lay.UsedSlots {
+		if spare := maxSlots - used; spare < maxSlots/3 {
+			t.Errorf("device %d: only %d spare slots of %d at Util 0.5", d, spare, maxSlots)
+		}
+	}
+}

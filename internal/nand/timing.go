@@ -99,6 +99,11 @@ type OpCounters struct {
 	Erases   int64
 }
 
+// Add adds o's counts into c. Fleet aggregation sums per-device counters
+// with it; the sum is order-independent, so aggregated reports are
+// identical for any device-iteration order.
+func (c *OpCounters) Add(o OpCounters) { c.accumulate(o) }
+
 // accumulate adds o's counts into c.
 func (c *OpCounters) accumulate(o OpCounters) {
 	for k := range c.Reads {

@@ -6,6 +6,7 @@ import (
 
 	"learnedftl/internal/ftl"
 	"learnedftl/internal/nand"
+	"learnedftl/internal/stats"
 )
 
 // ArrivalKind selects the arrival process of one open-loop stream.
@@ -147,12 +148,72 @@ func RunOpen(f ftl.FTL, streams []Stream, maxRequests int64) Result {
 
 // RunOpenWith is RunOpen with explicit options (background GC).
 func RunOpenWith(f ftl.FTL, streams []Stream, opt OpenOptions) Result {
-	start := f.Flash().MaxChipBusy()
-	var bg ftl.BackgroundCollector
+	var bg func(start, deadline nand.Time)
 	if opt.BackgroundGC {
-		bg, _ = f.(ftl.BackgroundCollector)
+		if b, ok := f.(ftl.BackgroundCollector); ok {
+			bg = func(start, deadline nand.Time) { b.BackgroundGC(start, deadline) }
+		}
 	}
-	col := f.Collector()
+	return runOpenLoop(ftlTarget{f}, streams, opt.MaxRequests, bg)
+}
+
+// OpenTarget is what the open-loop host model drives: a single FTL device
+// (the ftlTarget adapter) or a multi-device array (internal/fleet.Array).
+// The engine owns arrivals, per-stream FIFO queueing and latency recording;
+// the target owns request execution and idle-gap background work.
+type OpenTarget interface {
+	// Issue executes one host request at virtual time now and returns the
+	// completion time plus the normalized page count. Implementations must
+	// never return a completion before now (see issue()).
+	Issue(req Request, now nand.Time) (done nand.Time, pages int)
+	// Busy returns the target's drain time: the latest scheduled completion
+	// across every chip of every device.
+	Busy() nand.Time
+	// Collector is the host-level metrics sink the engine records arrivals,
+	// waits and latencies into.
+	Collector() *stats.Collector
+	// BackgroundWork is offered the device-idle gap [start, deadline):
+	// work launched inside it (GC, scrub, rebuild traffic) competes with
+	// foreground requests through ordinary per-chip queueing.
+	BackgroundWork(start, deadline nand.Time)
+}
+
+// ftlTarget adapts a single ftl.FTL to the OpenTarget shape. Its Issue is
+// exactly the shared issue() path, so RunOpenWith over the adapter is
+// byte-identical to the pre-refactor single-device loop.
+type ftlTarget struct{ f ftl.FTL }
+
+func (t ftlTarget) Issue(req Request, now nand.Time) (nand.Time, int) {
+	return issue(t.f, req, now)
+}
+func (t ftlTarget) Busy() nand.Time             { return t.f.Flash().MaxChipBusy() }
+func (t ftlTarget) Collector() *stats.Collector { return t.f.Collector() }
+func (t ftlTarget) BackgroundWork(s, d nand.Time) {
+	if bg, ok := t.f.(ftl.BackgroundCollector); ok {
+		bg.BackgroundGC(s, d)
+	}
+}
+
+// RunOpenTarget drives any OpenTarget — in this repo, internal/fleet's
+// multi-device Array — with the same open-loop host model as RunOpenWith:
+// identical arrival processes, queueing semantics, deterministic
+// (time, stream index) scheduling and latency recording. With
+// OpenOptions.BackgroundGC set, the target's BackgroundWork is offered
+// every device-idle gap.
+func RunOpenTarget(t OpenTarget, streams []Stream, opt OpenOptions) Result {
+	var bg func(start, deadline nand.Time)
+	if opt.BackgroundGC {
+		bg = t.BackgroundWork
+	}
+	return runOpenLoop(t, streams, opt.MaxRequests, bg)
+}
+
+// runOpenLoop is the shared open-loop engine body (see RunOpen for the
+// semantics). bg, when non-nil, is offered the idle gap before each
+// service start whose target drain time precedes it.
+func runOpenLoop(t OpenTarget, streams []Stream, maxRequests int64, bg func(start, deadline nand.Time)) Result {
+	start := t.Busy()
+	col := t.Collector()
 	names := make([]string, len(streams))
 	for i, s := range streams {
 		names[i] = s.Name
@@ -183,18 +244,19 @@ func RunOpenWith(f ftl.FTL, streams []Stream, opt OpenOptions) Result {
 	var issued int64
 	end := start
 	for h.len() > 0 {
-		if opt.MaxRequests > 0 && issued >= opt.MaxRequests {
+		if maxRequests > 0 && issued >= maxRequests {
 			break
 		}
 		i, now := h.pop()
 		st := states[i]
 		if bg != nil {
-			// The device drains before the next service start: offer the
-			// idle gap to the garbage collector. Collections it launches
-			// finish inside the gap or spill into the request's service
-			// time through per-chip queueing — never onto its queue wait.
-			if busy := f.Flash().MaxChipBusy(); busy < now {
-				bg.BackgroundGC(busy, now)
+			// The target drains before the next service start: offer the
+			// idle gap to its background work source (GC, rebuild). Work it
+			// launches finishes inside the gap or spills into the request's
+			// service time through per-chip queueing — never onto its queue
+			// wait.
+			if busy := t.Busy(); busy < now {
+				bg(busy, now)
 			}
 		}
 		wait := now - st.arrival
@@ -211,7 +273,7 @@ func RunOpenWith(f ftl.FTL, streams []Stream, opt OpenOptions) Result {
 		if tr != nil && !st.req.Trim {
 			tr.BeginReq(st.req.Write, now, wait)
 		}
-		done, pages := issue(f, st.req, now)
+		done, pages := t.Issue(st.req, now)
 		if st.req.Trim {
 			// TrimPages counted the trim inside the FTL; metadata ops
 			// join no latency population.

@@ -1,0 +1,95 @@
+package stats
+
+import (
+	"math"
+
+	"learnedftl/internal/nand"
+)
+
+// This file is the fleet aggregation layer: per-device Reports merged
+// under one host-level view. Every aggregate here is a sum, max or moment
+// over the device-indexed slice, so the merged report is identical for any
+// device-iteration order — the determinism invariant the fleet tests pin.
+
+// FleetFailure surfaces one failed device in an aggregated report, so a
+// wedged device never silently vanishes into the averages.
+type FleetFailure struct {
+	Device int    `json:"device"`
+	Reason string `json:"reason"`
+}
+
+// FleetReport is the merged view of one fleet run: the host-level latency
+// report (recorded by the multi-device engine across the whole array), the
+// per-device reports, and the cross-device aggregates no single device can
+// see — wear imbalance across the array and the failed-device roster.
+type FleetReport struct {
+	// Host is the array-level report: per-tenant cross-device latency
+	// percentiles from the fleet collector, with the flash counters, wear
+	// and write amplification re-derived over the device sum.
+	Host Report
+	// Devices holds the per-device reports in device-index order.
+	Devices []Report
+	// WearCVDevices is the coefficient of variation of total erases
+	// across devices — the fleet-level wear imbalance a placement policy
+	// creates on top of each device's internal wear leveling.
+	WearCVDevices float64
+	// Failed lists the devices whose collectors latched a failure.
+	Failed []FleetFailure
+}
+
+// WearCVAcrossDevices is the population coefficient of variation of the
+// per-device total erase counts (0 for an unworn or 1-device fleet).
+func WearCVAcrossDevices(erases []int64) float64 {
+	if len(erases) < 2 {
+		return 0
+	}
+	var sum float64
+	for _, e := range erases {
+		sum += float64(e)
+	}
+	mean := sum / float64(len(erases))
+	if mean <= 0 {
+		return 0
+	}
+	var ss float64
+	for _, e := range erases {
+		d := float64(e) - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss/float64(len(erases))) / mean
+}
+
+// AggregateFleet merges per-device reports under the host-level report:
+// flash counters, erases, GC activity, trims and energy are summed into
+// Host, wear imbalance is recomputed across devices, and failed devices
+// are rostered. Build Host with the summed device counters so its write
+// amplification prices the whole array (replication legitimately
+// multiplies it). devs must be in device-index order, which the
+// order-independent sums make a presentation choice, not a correctness
+// one.
+func AggregateFleet(host Report, devs []Report) FleetReport {
+	fr := FleetReport{Host: host, Devices: devs}
+	var flash nand.OpCounters
+	erases := make([]int64, len(devs))
+	var energy float64
+	for i := range devs {
+		d := &devs[i]
+		flash.Add(d.Flash)
+		erases[i] = d.Wear.TotalErases
+		energy += d.EnergyMJ
+		fr.Host.GCCount += d.GCCount
+		fr.Host.BGGCCount += d.BGGCCount
+		fr.Host.HostTrims += d.HostTrims
+		fr.Host.ScrubCount += d.ScrubCount
+		fr.Host.RefreshPages += d.RefreshPages
+		fr.Host.GrownBadBlocks += d.GrownBadBlocks
+		fr.Host.ModelBytes += d.ModelBytes
+		if d.Failed {
+			fr.Failed = append(fr.Failed, FleetFailure{Device: i, Reason: d.FailReason})
+		}
+	}
+	fr.Host.Flash = flash
+	fr.Host.EnergyMJ = energy
+	fr.WearCVDevices = WearCVAcrossDevices(erases)
+	return fr
+}

@@ -85,3 +85,41 @@ func Tasks(n int, cell func(i int) error) []Cell {
 	}
 	return cs
 }
+
+// Grid indexes a multi-axis cell lattice row-major (the last axis varies
+// fastest), replacing the hand-rolled div/mod chains of multi-dimensional
+// sweeps — the fleet orchestrator's placement × scenario × tenant lattice
+// is the motivating user. A Grid is pure index arithmetic: combine it with
+// Tasks(g.Cells(), ...) and g.Coord inside the cell.
+type Grid struct{ dims []int }
+
+// NewGrid returns a lattice over the given axis sizes. Axes of size < 1
+// are clamped to 1 so a degenerate axis collapses instead of zeroing the
+// whole lattice.
+func NewGrid(dims ...int) Grid {
+	ds := make([]int, len(dims))
+	for i, d := range dims {
+		if d < 1 {
+			d = 1
+		}
+		ds[i] = d
+	}
+	return Grid{dims: ds}
+}
+
+// Cells is the total cell count (1 for an axis-less grid).
+func (g Grid) Cells() int {
+	n := 1
+	for _, d := range g.dims {
+		n *= d
+	}
+	return n
+}
+
+// Coord returns cell i's index along the given axis.
+func (g Grid) Coord(i, axis int) int {
+	for a := len(g.dims) - 1; a > axis; a-- {
+		i /= g.dims[a]
+	}
+	return i % g.dims[axis]
+}
