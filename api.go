@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"learnedftl/internal/core"
+	"learnedftl/internal/crash"
 	"learnedftl/internal/dftl"
 	"learnedftl/internal/fault"
 	"learnedftl/internal/ftl"
@@ -295,6 +296,49 @@ func RecoverFromCrash(f FTL) (RunResult, error) {
 	start := f.Flash().MaxChipBusy()
 	done := rec.RecoverFromCrash(start)
 	return RunResult{Start: start, End: done}, nil
+}
+
+// Crash injection (see internal/crash): deterministic power-loss cuts,
+// torn-page modeling, and recovery invariant verification.
+type (
+	// CrashPlan arms a power cut: at the k-th flash operation (AtOp,
+	// 1-based), or the first operation at or after AtTime; Torn leaves the
+	// fatal program half-programmed instead of completing it.
+	CrashPlan = crash.Plan
+	// CrashOutcome is one injected crash's verdict: whether the cut fired,
+	// what it hit, mount latency, scan loss accounting, lost acked writes
+	// and invariant violations (empty when recovery held).
+	CrashOutcome = crash.Outcome
+	// CrashCampaignConfig sizes a crash-point enumeration + fuzz campaign.
+	CrashCampaignConfig = crash.CampaignConfig
+	// CrashCampaignResult aggregates a campaign; OK() means zero lost
+	// acked writes and zero invariant violations across every fired point.
+	CrashCampaignResult = crash.CampaignResult
+	// CrashDevice is what injection needs from a device; every built-in
+	// scheme satisfies it.
+	CrashDevice = crash.Device
+)
+
+// InjectCrash replays gens against f with plan's power cut armed; when the
+// cut fires it power-cycles the device, runs the timed OOB recovery mount
+// and verifies the recovery invariants against the durability oracle (see
+// CrashOutcome). The device is fully operational — and verified — after a
+// fired cut; an unfired window returns Fired=false with the cut disarmed.
+func InjectCrash(f FTL, gens []Generator, maxRequests int64, plan CrashPlan) (CrashOutcome, error) {
+	dev, ok := f.(crash.Device)
+	if !ok {
+		return CrashOutcome{}, fmt.Errorf("learnedftl: %s does not support crash injection", f.Name())
+	}
+	return crash.Inject(dev, gens, maxRequests, plan), nil
+}
+
+// RunCrashCampaign enumerates and fuzzes crash points through the
+// deterministic window newRun returns; newRun must produce an identically
+// prepared device and workload on every call (e.g. RestoreDevice from one
+// SnapshotDevice stream). See the crashsweep experiment for the harness
+// this wraps.
+func RunCrashCampaign(newRun func() (CrashDevice, []Generator, error), cfg CrashCampaignConfig) (CrashCampaignResult, error) {
+	return crash.RunCampaign(newRun, cfg)
 }
 
 // DeviceFootprint summarizes the resident bytes of the simulated device

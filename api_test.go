@@ -120,7 +120,7 @@ func TestFig6Shape(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	ids := ExperimentIDs()
-	want := []string{"faultsweep", "fig14", "fig15", "fig16", "fig17", "fig18",
+	want := []string{"crashsweep", "faultsweep", "fig14", "fig15", "fig16", "fig17", "fig18",
 		"fig19", "fig2", "fig20", "fig21", "fig22", "fig3", "fig6", "fig7",
 		"fleet", "gclat", "gcsweep", "latbreak", "loadsweep", "mountlat",
 		"scale", "scrublat", "table2", "tenantmix"}

@@ -14,6 +14,7 @@
 //	ftlbench -exp gclat                 # foreground vs background GC tails
 //	ftlbench -exp fig16 -gc-policy costage  # any experiment, other policy
 //	ftlbench -exp mountlat              # OOB crash-recovery latency vs fill
+//	ftlbench -exp crashsweep -crash-fuzz 100  # power-loss injection campaign
 //	ftlbench -exp all -checkpoint-dir .ckpt  # reuse warm-device checkpoints
 //	ftlbench -exp scale -scale-max-gib 8     # geometry ladder up to 8 GiB
 //	ftlbench -exp fig16 -cpuprofile cpu.out  # profile a run with pprof
@@ -103,6 +104,9 @@ func run() int {
 
 		faultBER     = flag.Float64("fault-ber", 0, "faultsweep: single raw-BER rung (0 = the built-in decade ladder)")
 		faultSchemes = flag.String("fault-schemes", "", "faultsweep/scrublat: comma-separated scheme subset, e.g. dftl,ideal (\"\" = all five)")
+
+		crashFuzz   = flag.Int("crash-fuzz", 0, "crashsweep: seeded random crash points per scheme on top of the enumeration (0 = 40)")
+		crashStride = flag.Int64("crash-stride", 0, "crashsweep: enumerate every Nth flash-operation ordinal through the window (0 = derive ~24 ordinals)")
 
 		fleetDevices = flag.Int("fleet-devices", 0, "fleet: number of devices in the array (0 = 8)")
 		placement    = flag.String("placement", "", "fleet: comma-separated placement policies, e.g. striping,hash (\"\" = all three)")
@@ -205,6 +209,8 @@ func run() int {
 	budget.OPRatio = *opRatio
 	budget.FaultBER = *faultBER
 	budget.FaultSchemes = *faultSchemes
+	budget.CrashFuzz = *crashFuzz
+	budget.CrashStride = *crashStride
 	budget.FleetDevices = *fleetDevices
 	budget.FleetPlacement = *placement
 	budget.FleetReplicas = *replicas

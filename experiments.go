@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"learnedftl/internal/core"
+	"learnedftl/internal/crash"
 	"learnedftl/internal/fault"
 	"learnedftl/internal/ftl"
 	"learnedftl/internal/gc"
@@ -84,6 +85,16 @@ type Budget struct {
 	FleetDevices   int    `json:"fleet_devices,omitempty"`
 	FleetPlacement string `json:"fleet_placement,omitempty"`
 	FleetReplicas  int    `json:"fleet_replicas,omitempty"`
+
+	// Crash-experiment knobs (crashsweep). CrashFuzz is the number of
+	// seeded random crash points injected per scheme on top of the
+	// enumeration (0 = 40; the root acceptance test raises the total past
+	// 200 across the five schemes). CrashStride enumerates every
+	// CrashStride-th flash-operation ordinal through the window (0 =
+	// derive a stride that enumerates ~24 ordinals, each injected twice:
+	// completing and tearing the fatal program).
+	CrashFuzz   int   `json:"crash_fuzz,omitempty"`
+	CrashStride int64 `json:"crash_stride,omitempty"`
 
 	// Scale-experiment knobs. The scale experiment climbs a geometry
 	// ladder from the tiny device up to the paper's 32 GiB one;
@@ -1306,9 +1317,119 @@ func MountLat(cfg Config, b Budget) (Table, error) {
 				mapped++
 			}
 		}
-		rows[i] = []string{
+		row := []string{
 			schemes[si].String(), pct(mountFills[fi]), fmt.Sprint(mapped),
 			fmt.Sprint(cnt.Reads[nand.OpMount]), lat(done - start),
+		}
+		// With the reliability model on, the scan can lose mappings to
+		// uncorrectable OOB reads; surface the count. The column appears
+		// only when fault is enabled so fault-free goldens stay
+		// byte-identical.
+		if cfg.Fault.Enabled {
+			ms, msOK := f.(interface{ MountScanStats() persist.ScanStats })
+			if !msOK {
+				return fmt.Errorf("learnedftl: %s does not expose mount scan stats", f.Name())
+			}
+			row = append(row, fmt.Sprint(ms.MountScanStats().LostMappings))
+		}
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	header := []string{"FTL", "fill", "recovered LPNs", "scanned pages", "mount"}
+	if cfg.Fault.Enabled {
+		header = append(header, "lost maps")
+	}
+	return Table{
+		Title:  "Mount latency: OOB crash-recovery scan vs device fill (scanned = programmed pages whose OOB the mount read)",
+		Header: header,
+		Rows:   rows,
+	}, nil
+}
+
+// crashWindow returns crashsweep's measurement window: seeded random
+// single-page overwrites with a trim every 41st request — write- and
+// GC-heavy on a warmed device — freshly constructed per call so every
+// campaign replay issues the identical request sequence.
+func crashWindow(lp int64, n int, seed int64) []sim.Generator {
+	rng := rand.New(rand.NewSource(seed))
+	i := 0
+	return []sim.Generator{sim.GenFunc(func() (sim.Request, bool) {
+		if i >= n {
+			return sim.Request{}, false
+		}
+		i++
+		lpn := rng.Int63n(lp)
+		if i%41 == 0 {
+			return sim.Request{Trim: true, LPN: lpn, Pages: 1}, true
+		}
+		return sim.Request{Write: true, LPN: lpn, Pages: 1}, true
+	})}
+}
+
+// CrashSweep runs the power-loss injection campaign (internal/crash) per
+// scheme: a warmed device is snapshotted, a deterministic write+GC-heavy
+// window is probed uncut, then every enumerated (and fuzzed) flash-operation
+// ordinal through that window is injected as a power cut — completing or
+// tearing the in-flight program — followed by a timed OOB remount and full
+// invariant verification against the durability oracle (acked writes must
+// survive, at most one valid page per LPN, GTD/L2P/allocator consistent with
+// flash). "lost acked" must be 0 and the verdict "clean" for every scheme;
+// Budget.CrashFuzz and Budget.CrashStride size the campaign.
+func CrashSweep(cfg Config, b Budget) (Table, error) {
+	schemes := Schemes()
+	fuzz := b.CrashFuzz
+	if fuzz <= 0 {
+		fuzz = 40
+	}
+	window := b.Requests / 4
+	if window < 64 {
+		window = 64
+	}
+	rows := make([][]string, len(schemes))
+	err := runCells(b, len(schemes), func(i int) error {
+		s := schemes[i]
+		f, err := newWarmed(s, cfg, b)
+		if err != nil {
+			return err
+		}
+		snap, err := SnapshotDevice(f)
+		if err != nil {
+			return err
+		}
+		lp := f.Config().LogicalPages()
+		newRun := func() (crash.Device, []sim.Generator, error) {
+			g, err := RestoreDevice(s, cfg, snap)
+			if err != nil {
+				return nil, nil, err
+			}
+			dev, ok := g.(crash.Device)
+			if !ok {
+				return nil, nil, fmt.Errorf("learnedftl: %s does not support crash injection", g.Name())
+			}
+			return dev, crashWindow(lp, window, 3301+int64(i)), nil
+		}
+		res, err := crash.RunCampaign(newRun, crash.CampaignConfig{
+			Stride:     b.CrashStride,
+			TargetEnum: 24,
+			Fuzz:       fuzz,
+			Seed:       9001 + int64(i),
+		})
+		if err != nil {
+			return err
+		}
+		verdict := "clean"
+		if !res.OK() {
+			verdict = fmt.Sprintf("DIRTY (%d violations)", len(res.Violations))
+		}
+		rows[i] = []string{
+			s.String(), fmt.Sprint(res.WindowOps), fmt.Sprint(res.WindowErases),
+			fmt.Sprint(res.Points), fmt.Sprint(res.Fired), fmt.Sprint(res.TornCuts),
+			fmt.Sprint(res.LostAcked), fmt.Sprint(res.TornDiscarded),
+			fmt.Sprint(res.LostMappings),
+			lat(res.MountMean()), lat(res.MountMax), verdict,
 		}
 		return nil
 	})
@@ -1316,8 +1437,8 @@ func MountLat(cfg Config, b Budget) (Table, error) {
 		return Table{}, err
 	}
 	return Table{
-		Title:  "Mount latency: OOB crash-recovery scan vs device fill (scanned = programmed pages whose OOB the mount read)",
-		Header: []string{"FTL", "fill", "recovered LPNs", "scanned pages", "mount"},
+		Title:  "Crash sweep: deterministic power-loss injection through a write+GC window (lost acked must be 0; torn drop = half-programmed pages discarded at mount)",
+		Header: []string{"FTL", "window ops", "GCs", "points", "fired", "torn cuts", "lost acked", "torn drop", "lost maps", "mount mean", "mount max", "verdict"},
 		Rows:   rows,
 	}, nil
 }
@@ -1710,6 +1831,7 @@ func ExperimentList() []ExperimentInfo {
 		{"gcsweep", "write amplification and wear vs over-provisioning x GC policy", GCSweep},
 		{"gclat", "open-loop write tails: foreground vs background GC", GCLat},
 		{"mountlat", "OOB crash-recovery scan latency vs device fill", MountLat},
+		{"crashsweep", "power-loss injection campaign: recovery success, lost acked writes, mount latency", CrashSweep},
 		{"faultsweep", "UBER, tails and refresh WA vs raw bit error rate", FaultSweep},
 		{"scrublat", "read-disturb data loss and tails, background scrub off vs on", ScrubLat},
 		{"scale", "geometry ladder tiny -> paper: warm-up cost, steady IOPS, model footprint", ScaleExp},

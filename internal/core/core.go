@@ -20,6 +20,7 @@ import (
 	"learnedftl/internal/mapping"
 	"learnedftl/internal/nand"
 	"learnedftl/internal/obs"
+	"learnedftl/internal/persist"
 	"learnedftl/internal/stats"
 )
 
@@ -97,6 +98,10 @@ type LearnedFTL struct {
 	gcPol gc.Policy
 
 	inGC bool
+
+	// lastScan holds the counters of the most recent RecoverFromCrash
+	// mount scan (see MountScanStats).
+	lastScan persist.ScanStats
 }
 
 // rowPlan is the superblock-row budget of a configuration: how the

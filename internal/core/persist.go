@@ -170,18 +170,115 @@ func (f *LearnedFTL) RecoverFromCrash(now nand.Time) nand.Time {
 	res := persist.ScanOOB(f.fl, now)
 	lp := int64(len(f.l2p))
 	for _, m := range res.Data {
-		if m.Key >= 0 && m.Key < lp {
-			f.l2p[m.Key] = m.PPN
+		if m.Key < 0 || m.Key >= lp {
+			continue
 		}
+		if old := f.l2p[m.Key]; old != nand.InvalidPPN {
+			// Two valid pages for one LPN: power died between the new copy's
+			// program and the old copy's invalidate. The operation was never
+			// acknowledged, so either copy satisfies durability, but exactly
+			// one may stay valid; scan order is deterministic, so
+			// last-seen-wins picks the same survivor on every mount.
+			if err := f.fl.Invalidate(old); err != nil {
+				panic(fmt.Sprintf("core: recovery dedup of LPN %d: %v", m.Key, err))
+			}
+		}
+		f.l2p[m.Key] = m.PPN
 	}
 	for _, m := range res.Trans {
-		if m.Key >= 0 && m.Key < int64(f.gtd.NumTPNs()) {
-			f.gtd.Update(int(m.Key), m.PPN)
+		if m.Key < 0 || m.Key >= int64(f.gtd.NumTPNs()) {
+			continue
 		}
+		tpn := int(m.Key)
+		if f.gtd.Written(tpn) {
+			if err := f.fl.Invalidate(f.gtd.Lookup(tpn)); err != nil {
+				panic(fmt.Sprintf("core: recovery dedup of TPN %d: %v", tpn, err))
+			}
+		}
+		f.gtd.Update(tpn, m.PPN)
 	}
+	f.lastScan = res.ScanStats
+	// Dedup settled the valid bitmaps; the row recounts below see final
+	// per-page states.
 	f.rebuildRows()
 	f.tp.rebuild()
 	return res.Done
+}
+
+// MountScanStats returns the bookkeeping counters of the most recent
+// RecoverFromCrash scan: lost mappings, torn pages discarded, bad blocks
+// skipped.
+func (f *LearnedFTL) MountScanStats() persist.ScanStats { return f.lastScan }
+
+// AllocInvariants cross-checks the group-allocation table and translation
+// pool against the flash array and returns human-readable violations
+// (empty means consistent). The crash verifier calls it right after
+// RecoverFromCrash.
+func (f *LearnedFTL) AllocInvariants() []string {
+	var v []string
+	g := f.fl.Geometry()
+	for r := 0; r < f.transRows; r++ {
+		if f.rowOwner[r] != -2 {
+			v = append(v, fmt.Sprintf("translation row %d has owner %d, want -2", r, f.rowOwner[r]))
+		}
+	}
+	inFree := make(map[int]bool)
+	for _, r := range f.freeRows {
+		switch {
+		case inFree[r]:
+			v = append(v, fmt.Sprintf("row %d appears twice in the free-row stack", r))
+		case r < f.transRows || r >= g.BlocksPerUnit:
+			v = append(v, fmt.Sprintf("row %d out of the data-row range [%d, %d)", r, f.transRows, g.BlocksPerUnit))
+		case f.rowOwner[r] != -1:
+			v = append(v, fmt.Sprintf("free row %d owned by group %d", r, f.rowOwner[r]))
+		case f.rowProgrammed(r) != 0:
+			v = append(v, fmt.Sprintf("free row %d has %d programmed pages", r, f.rowProgrammed(r)))
+		}
+		inFree[r] = true
+	}
+	for r := f.transRows; r < g.BlocksPerUnit; r++ {
+		if f.rowOwner[r] == -1 && !inFree[r] {
+			v = append(v, fmt.Sprintf("unowned row %d missing from the free-row stack", r))
+		}
+	}
+	owned := make(map[int]int)
+	for gid := range f.groups {
+		grp := &f.groups[gid]
+		for _, r := range grp.rows {
+			if prev, dup := owned[r]; dup {
+				v = append(v, fmt.Sprintf("row %d claimed by groups %d and %d", r, prev, gid))
+			}
+			owned[r] = gid
+			if f.rowOwner[r] != gid {
+				v = append(v, fmt.Sprintf("group %d lists row %d, rowOwner says %d", gid, r, f.rowOwner[r]))
+			}
+		}
+		if n := len(grp.rows); n > 0 {
+			if got := f.rowProgrammed(grp.rows[n-1]); grp.wp != got {
+				v = append(v, fmt.Sprintf("group %d write position %d, active row %d holds %d", gid, grp.wp, grp.rows[n-1], got))
+			}
+		}
+	}
+	for r := f.transRows; r < g.BlocksPerUnit; r++ {
+		if gid := f.rowOwner[r]; gid >= 0 {
+			if og, ok := owned[r]; !ok || og != gid {
+				v = append(v, fmt.Sprintf("row %d owned by group %d but absent from its row list", r, gid))
+			}
+		}
+	}
+	for u := range f.tp.active {
+		if a := f.tp.active[u]; a >= 0 {
+			if wp := f.fl.BlockWritePtr(a); wp == 0 || wp >= g.PagesPerBlock {
+				v = append(v, fmt.Sprintf("translation-pool active block %d has write pointer %d", a, wp))
+			}
+		}
+		for _, blk := range f.tp.free[u] {
+			if wp := f.fl.BlockWritePtr(blk); wp != 0 {
+				v = append(v, fmt.Sprintf("translation-pool free block %d has write pointer %d", blk, wp))
+			}
+		}
+	}
+	return v
 }
 
 // rowProgrammed returns the number of programmed slots in superblock row r

@@ -131,6 +131,10 @@ func New(cfg Config, codewordBits int64) *Model {
 	}
 }
 
+// RetrySteps implements nand.RetryLadder: the depth of the read-retry
+// ladder. A torn page's read walks all of it before going uncorrectable.
+func (m *Model) RetrySteps() int { return m.cfg.RetrySteps }
+
 // splitmix64 is the finalizer of the splitmix64 generator — a cheap,
 // high-quality 64-bit mixer.
 func splitmix64(x uint64) uint64 {

@@ -8,6 +8,7 @@ import (
 	"learnedftl/internal/gc"
 	"learnedftl/internal/mapping"
 	"learnedftl/internal/nand"
+	"learnedftl/internal/persist"
 	"learnedftl/internal/stats"
 )
 
@@ -81,6 +82,10 @@ type Base struct {
 	// relocation to train segments; DFTL-family keeps victim-chip
 	// locality).
 	SortRelocate bool
+
+	// lastScan holds the counters of the most recent RecoverFromCrash
+	// mount scan (see MountScanStats).
+	lastScan persist.ScanStats
 }
 
 // NewBase builds the shared device state for cfg.

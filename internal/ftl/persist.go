@@ -109,20 +109,109 @@ func (b *Base) RecoverFromCrash(now nand.Time) nand.Time {
 	res := persist.ScanOOB(b.Fl, now)
 	lp := int64(len(b.L2P))
 	for _, m := range res.Data {
-		if m.Key >= 0 && m.Key < lp {
-			b.L2P[m.Key] = m.PPN
+		if m.Key < 0 || m.Key >= lp {
+			continue
 		}
+		if old := b.L2P[m.Key]; old != nand.InvalidPPN {
+			// Two valid pages for one LPN: power died between the new copy's
+			// program completing and the old copy's invalidate (host
+			// overwrite, or GC relocation — either way the operation was
+			// never acknowledged, so either copy satisfies durability, but
+			// exactly one may stay valid). Scan order is deterministic, so
+			// last-seen-wins picks the same survivor on every mount.
+			if err := b.Fl.Invalidate(old); err != nil {
+				panic(fmt.Sprintf("ftl: recovery dedup of LPN %d: %v", m.Key, err))
+			}
+		}
+		b.L2P[m.Key] = m.PPN
 	}
 	for _, m := range res.Trans {
-		if m.Key >= 0 && m.Key < int64(b.GTD.NumTPNs()) {
-			b.GTD.Update(int(m.Key), m.PPN)
+		if m.Key < 0 || m.Key >= int64(b.GTD.NumTPNs()) {
+			continue
 		}
+		tpn := int(m.Key)
+		if b.GTD.Written(tpn) {
+			// Same both-copies-visible race for translation pages: a crash
+			// between UpdateTrans's program and its invalidate.
+			if err := b.Fl.Invalidate(b.GTD.Lookup(tpn)); err != nil {
+				panic(fmt.Sprintf("ftl: recovery dedup of TPN %d: %v", tpn, err))
+			}
+		}
+		b.GTD.Update(tpn, m.PPN)
 	}
+	b.lastScan = res.ScanStats
+	// Dedup ran before the allocator rebuild so per-block valid counts are
+	// settled when RebuildFromFlash snapshots them.
 	b.BM.RebuildFromFlash()
 	// Crash rebuild reopens active blocks without per-transition
 	// notifications; resync the victim index's view of them.
 	b.GC.Resync()
 	return res.Done
+}
+
+// MountScanStats returns the bookkeeping counters of the most recent
+// RecoverFromCrash scan: lost mappings, torn pages discarded, bad blocks
+// skipped.
+func (b *Base) MountScanStats() persist.ScanStats { return b.lastScan }
+
+// AllocInvariants cross-checks the allocator's view against the flash
+// array and returns human-readable violations (empty means consistent).
+// The crash verifier calls it right after RecoverFromCrash, when every
+// erased non-bad block must sit in a free stack and every active block
+// must be a partially programmed good block — free pages the allocator
+// cannot see, or blocks it would hand out twice, are exactly the
+// inconsistencies a botched rebuild produces.
+func (b *Base) AllocInvariants() []string {
+	var v []string
+	g := b.Fl.Geometry()
+	blocksPerChip := g.Planes * g.BlocksPerUnit
+	inFree := make(map[int]bool)
+	count := 0
+	for chip := range b.BM.free {
+		for _, blk := range b.BM.free[chip] {
+			count++
+			switch {
+			case inFree[blk]:
+				v = append(v, fmt.Sprintf("block %d appears twice in the free stacks", blk))
+			case blk/blocksPerChip != chip:
+				v = append(v, fmt.Sprintf("block %d filed under chip %d, belongs to chip %d", blk, chip, blk/blocksPerChip))
+			case b.Fl.BlockBad(blk):
+				v = append(v, fmt.Sprintf("grown-bad block %d in the free stacks", blk))
+			case b.Fl.BlockWritePtr(blk) != 0:
+				v = append(v, fmt.Sprintf("free-stack block %d has write pointer %d", blk, b.Fl.BlockWritePtr(blk)))
+			}
+			inFree[blk] = true
+		}
+	}
+	if count != b.BM.freeCount {
+		v = append(v, fmt.Sprintf("freeCount %d, free stacks hold %d", b.BM.freeCount, count))
+	}
+	active := make(map[int]bool)
+	checkActive := func(stream string, chip, blk int) {
+		if blk < 0 {
+			return
+		}
+		active[blk] = true
+		switch {
+		case inFree[blk]:
+			v = append(v, fmt.Sprintf("active %s block %d also in the free stacks", stream, blk))
+		case b.Fl.BlockBad(blk):
+			v = append(v, fmt.Sprintf("grown-bad block %d active for %s", blk, stream))
+		case b.Fl.BlockWritePtr(blk) >= g.PagesPerBlock:
+			v = append(v, fmt.Sprintf("full block %d active for %s", blk, stream))
+		}
+	}
+	for chip := range b.BM.activeData {
+		checkActive("data", chip, b.BM.activeData[chip])
+		checkActive("trans", chip, b.BM.activeTrans[chip])
+	}
+	// Completeness: after a rebuild, every erased good block is allocatable.
+	for blk := 0; blk < g.TotalBlocks(); blk++ {
+		if b.Fl.BlockWritePtr(blk) == 0 && !b.Fl.BlockBad(blk) && !inFree[blk] && !active[blk] {
+			v = append(v, fmt.Sprintf("erased block %d missing from the free stacks", blk))
+		}
+	}
+	return v
 }
 
 // save appends the allocator's mutable state: per-chip free stacks in

@@ -61,6 +61,20 @@ func (l *LeaFTL) Name() string { return "LeaFTL" }
 // BufferedPages returns the current data-buffer occupancy (tests).
 func (l *LeaFTL) BufferedPages() int { return len(l.buffer) }
 
+// BufferedLPNs returns the LPNs sitting in the volatile DRAM data buffer,
+// in ascending order. LeaFTL acknowledges buffered writes before they
+// reach flash (write-back caching), so these LPNs are acked-but-volatile:
+// the crash verifier exempts them from the acked-write durability
+// invariant, matching the documented buffer semantics.
+func (l *LeaFTL) BufferedLPNs() []int64 {
+	out := make([]int64, 0, len(l.buffer))
+	for lpn := range l.buffer {
+		out = append(out, lpn)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // SegmentsTotal returns the total live segments across all translation
 // pages (tests; space-overhead accounting).
 func (l *LeaFTL) SegmentsTotal() int {
@@ -98,13 +112,18 @@ func (l *LeaFTL) flush(now nand.Time) nand.Time {
 		lpns = append(lpns, lpn)
 	}
 	sort.Slice(lpns, func(i, j int) bool { return lpns[i] < lpns[j] })
-	l.buffer = make(map[int64]struct{})
 
-	// Program sorted pages across chips; collect the training points.
+	// Program sorted pages across chips; collect the training points. The
+	// buffer drains page by page as each program lands — not wholesale up
+	// front — so a power cut mid-flush leaves the not-yet-programmed
+	// remainder still visible through BufferedLPNs: exactly the volatile
+	// acked writes a write-back crash loses, which the crash verifier
+	// exempts from the durability check.
 	end := now
 	pts := make(map[int][]learned.Point)
 	for _, lpn := range lpns {
 		ppn, done := l.HostProgram(lpn, now)
+		delete(l.buffer, lpn)
 		if done > end {
 			end = done
 		}

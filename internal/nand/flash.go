@@ -132,6 +132,12 @@ type Flash struct {
 	scrubQueue  []int
 	scrubHead   int
 	scrubQueued []bool
+
+	// cut, when non-nil, is an armed power-loss trigger (see ArmCut); torn
+	// is the roster of pages left half-programmed by fired cuts. Both are
+	// nil/empty in normal operation, so the hot paths pay one nil-check.
+	cut  *cutPlan
+	torn []PPN
 }
 
 // NewFlash builds an erased flash array for geometry g with timing t.
@@ -231,9 +237,20 @@ func (f *Flash) schedule(chip int, after Time, d Time) Time {
 // free or invalid pages are permitted — mispredicted learned-index reads do
 // exactly that.
 func (f *Flash) Read(p PPN, after Time, kind OpKind) Time {
-	if f.fm != nil {
-		return f.faultRead(p, after, kind)
+	if f.cut != nil && f.cut.due(after) {
+		// Power died before the command reached the die: no state change,
+		// no accounting — the operation never happened.
+		panic(f.cutNow(OpRead, p, false, after))
 	}
+	if f.fm != nil {
+		done, _ := f.faultReadOut(p, after, kind)
+		return done
+	}
+	return f.plainRead(p, after, kind)
+}
+
+// plainRead is the ideal-NAND read path shared by Read and ReadChecked.
+func (f *Flash) plainRead(p PPN, after Time, kind OpKind) Time {
 	f.counters.Reads[kind]++
 	chip := f.codec.Chip(p)
 	done := f.schedule(chip, after, f.timing.ReadLatency)
@@ -244,10 +261,11 @@ func (f *Flash) Read(p PPN, after Time, kind OpKind) Time {
 	return done
 }
 
-// faultRead is the fault-model read path: it maintains the block's
+// faultReadOut is the fault-model read path: it maintains the block's
 // read-disturb counter, charges retry steps as extra chip occupancy, tallies
-// uncorrectable events and flags at-risk blocks for scrub.
-func (f *Flash) faultRead(p PPN, after Time, kind OpKind) Time {
+// uncorrectable events and flags at-risk blocks for scrub. It returns the
+// model's verdict so ReadChecked can expose it to the mount scan.
+func (f *Flash) faultReadOut(p PPN, after Time, kind OpKind) (Time, ReadOutcome) {
 	f.counters.Reads[kind]++
 	bid := f.codec.BlockID(p)
 	b := &f.blocks[bid]
@@ -280,7 +298,7 @@ func (f *Flash) faultRead(p PPN, after Time, kind OpKind) Time {
 		f.opObs.ObserveOp(FlashOp{Op: OpRead, Kind: kind, PPN: p, Chip: int32(chip),
 			After: after, Start: done - d, Done: done, Retry: retry})
 	}
-	return done
+	return done, out
 }
 
 // Program writes a page, setting it valid and recording its OOB. NAND
@@ -303,6 +321,27 @@ func (f *Flash) Program(p PPN, oob OOB, after Time, kind OpKind) (Time, error) {
 	if oob.Key < 0 {
 		return 0, fmt.Errorf("nand: program of page %d with negative OOB key %d", p, oob.Key)
 	}
+	cutAfter := false
+	if f.cut != nil && f.cut.due(after) {
+		if f.cut.torn {
+			// Power died mid-program: the page is consumed by the in-order
+			// write pointer but its cells hold a half-finished program — it
+			// is never valid and its OOB reads uncorrectable. The intended
+			// key is recorded for the simulator's omniscient loss reporting;
+			// the recovery scan must never consume it (IsTorn guards).
+			f.programmed[w] |= m
+			f.keys[p] = packOOB(oob)
+			b.writePtr++
+			f.markTorn(p)
+			f.notifyBlock(bid)
+			panic(f.cutNow(OpProgram, p, true, after))
+		}
+		// Non-torn cut: the program completes on the die, then power dies
+		// before the FTL resumes — the caller's invalidate of the old copy
+		// and its map update never run, so both copies stay visible to the
+		// mount scan. The panic is deferred to after the normal body.
+		cutAfter = true
+	}
 	if f.fm != nil && f.fm.ProgramFault(p, b.erases) {
 		// Grown defect: the program op ran and failed verification. The
 		// page is burned — consumed by the write pointer but holding
@@ -320,6 +359,9 @@ func (f *Flash) Program(p PPN, oob OOB, after Time, kind OpKind) (Time, error) {
 			f.opObs.ObserveOp(FlashOp{Op: OpProgram, Kind: kind, PPN: p, Chip: int32(chip),
 				After: after, Start: done - f.timing.ProgramLatency, Done: done})
 		}
+		if cutAfter {
+			panic(f.cutNow(OpProgram, p, false, done))
+		}
 		return done, ErrProgramFailed
 	}
 	f.programmed[w] |= m
@@ -335,6 +377,9 @@ func (f *Flash) Program(p PPN, oob OOB, after Time, kind OpKind) (Time, error) {
 	if f.opObs != nil {
 		f.opObs.ObserveOp(FlashOp{Op: OpProgram, Kind: kind, PPN: p, Chip: int32(chip),
 			After: after, Start: done - f.timing.ProgramLatency, Done: done})
+	}
+	if cutAfter {
+		panic(f.cutNow(OpProgram, p, false, done))
 	}
 	return done, nil
 }
@@ -356,6 +401,10 @@ func (f *Flash) Invalidate(p PPN) error {
 // Erase erases a whole block, returning the completion time. Erasing a block
 // that still holds valid pages is a usage bug (data loss).
 func (f *Flash) Erase(blockID int, after Time) (Time, error) {
+	if f.cut != nil && f.cut.due(after) {
+		// Power died before the erase pulse: the block keeps its contents.
+		panic(f.cutNow(OpErase, PPN(int64(blockID)*int64(f.geo.PagesPerBlock)), false, after))
+	}
 	b := &f.blocks[blockID]
 	if b.valid != 0 {
 		return 0, fmt.Errorf("nand: erase of block %d with %d valid pages", blockID, b.valid)
@@ -379,6 +428,9 @@ func (f *Flash) Erase(blockID int, after Time) (Time, error) {
 	b.reads = 0
 	if f.scrubQueued != nil {
 		f.scrubQueued[blockID] = false
+	}
+	if len(f.torn) > 0 {
+		f.clearTornBlock(blockID)
 	}
 	if eraseFail {
 		f.rel.EraseFails++
@@ -736,7 +788,11 @@ func (f *Flash) ImportState(s FlashState) error {
 	f.lifetime.subtract(s.Counters)
 	f.rel = s.Rel
 	// The scrub queue is transient risk-tracking state, not snapshotted;
-	// at-risk blocks re-flag on their next disturbed read.
+	// at-risk blocks re-flag on their next disturbed read. Likewise the
+	// crash machinery: an imported snapshot is a clean image, so any armed
+	// cut and the torn roster reset.
+	f.cut = nil
+	f.torn = f.torn[:0]
 	f.scrubQueue = f.scrubQueue[:0]
 	f.scrubHead = 0
 	for i := range f.scrubQueued {

@@ -10,20 +10,50 @@ type ScanEntry struct {
 	PPN nand.PPN
 }
 
-// ScanResult is the state an OOB crash-recovery scan rebuilds from the
-// flash array alone, plus the scan's cost.
-type ScanResult struct {
-	// Data are the valid data pages' reverse mappings (lpn → ppn). At most
-	// one valid page exists per LPN — overwrites invalidate the old page
-	// before the mapping moves — so the rebuilt L2P is unambiguous.
-	Data []ScanEntry
-	// Trans are the valid translation pages' reverse mappings (tpn → ppn);
-	// they rebuild the GTD the same way.
-	Trans []ScanEntry
+// LostMapping is one valid page whose OOB read exhausted the ECC retry
+// ladder during the mount scan: the reverse mapping is unreadable, so the
+// rebuilt state must drop it (graceful degradation — the alternative is a
+// mount failure). Key and Trans are the simulator's omniscient view of what
+// was lost, kept for loss reporting; a real controller would know only the
+// PPN.
+type LostMapping struct {
+	PPN   nand.PPN
+	Key   int64
+	Trans bool
+}
+
+// ScanStats are the bookkeeping counters of one mount scan.
+type ScanStats struct {
 	// Scanned counts the programmed pages whose OOB the scan read,
 	// including stale (invalid) pages: a mount cannot know a page is stale
 	// without reading it.
 	Scanned int64
+	// LostMappings counts valid pages whose OOB read was uncorrectable —
+	// mappings the rebuilt state silently lacks (ScanResult.Lost lists
+	// them).
+	LostMappings int64
+	// TornDiscarded counts pages left half-programmed by a power cut. They
+	// are never valid, so they cost scan time but contribute no mapping.
+	TornDiscarded int64
+	// BadSkipped counts grown-bad blocks the scan skipped entirely.
+	BadSkipped int64
+}
+
+// ScanResult is the state an OOB crash-recovery scan rebuilds from the
+// flash array alone, plus the scan's cost and loss accounting.
+type ScanResult struct {
+	// Data are the valid data pages' reverse mappings (lpn → ppn). On a
+	// cleanly quiesced image at most one valid page exists per LPN; a crash
+	// cut between a program and the matching invalidate can leave two, so
+	// recovery consumers must be prepared to deduplicate.
+	Data []ScanEntry
+	// Trans are the valid translation pages' reverse mappings (tpn → ppn);
+	// they rebuild the GTD the same way.
+	Trans []ScanEntry
+	// Lost is the roster of valid pages whose mapping the scan could not
+	// read back (see LostMapping). Empty unless a fault model is attached.
+	Lost []LostMapping
+	ScanStats
 	// Done is the virtual completion time of the slowest chip's scan — the
 	// mount latency when compared against the scan's start time.
 	Done nand.Time
@@ -37,12 +67,22 @@ type ScanResult struct {
 // reads while distinct chips scan in parallel, so mount latency is the
 // slowest chip's page count times the read latency. Scan reads are tagged
 // nand.OpMount in the flash counters.
+//
+// Grown-bad blocks are skipped without a read: retirement drained their
+// survivors, and a real controller keeps the grown-defect list off-band, so
+// scanning them would only charge phantom mount latency. The scan honors
+// the attached fault model — a valid page whose OOB read exhausts the
+// retry ladder drops into the Lost roster instead of yielding its mapping —
+// and discards torn pages (half-finished programs from a power cut).
 func ScanOOB(fl *nand.Flash, start nand.Time) ScanResult {
 	geo := fl.Geometry()
 	res := ScanResult{Done: start}
 	ppb := geo.PagesPerBlock
-	var validScratch []nand.PPN
 	for blk := 0; blk < geo.TotalBlocks(); blk++ {
+		if fl.BlockBad(blk) {
+			res.BadSkipped++
+			continue
+		}
 		wp := fl.BlockWritePtr(blk)
 		if wp == 0 {
 			continue
@@ -51,17 +91,25 @@ func ScanOOB(fl *nand.Flash, start nand.Time) ScanResult {
 		// Every programmed page is read — staleness is only known after the
 		// OOB is in hand, so stale pages cost mount time too.
 		for i := 0; i < wp; i++ {
-			done := fl.Read(base+nand.PPN(i), start, nand.OpMount)
+			p := base + nand.PPN(i)
+			done, out := fl.ReadChecked(p, start, nand.OpMount)
 			if done > res.Done {
 				res.Done = done
 			}
 			res.Scanned++
-		}
-		// But only the valid subset yields mappings, and the block's valid
-		// bitmap walks straight to those pages.
-		validScratch = fl.AppendValidPages(blk, validScratch[:0])
-		for _, p := range validScratch {
+			if fl.IsTorn(p) {
+				res.TornDiscarded++
+				continue
+			}
+			if fl.State(p) != nand.PageValid {
+				continue
+			}
 			oob := fl.PageOOB(p)
+			if out.Uncorrectable {
+				res.LostMappings++
+				res.Lost = append(res.Lost, LostMapping{PPN: p, Key: oob.Key, Trans: oob.Trans})
+				continue
+			}
 			if oob.Trans {
 				res.Trans = append(res.Trans, ScanEntry{Key: oob.Key, PPN: p})
 			} else {

@@ -62,7 +62,21 @@ func (r Result) Makespan() nand.Time { return r.End - r.Start }
 // index), so a T-thread closed loop schedules each request in O(log T)
 // instead of the O(T) linear scan a naive implementation would need.
 func Run(f ftl.FTL, gens []Generator, maxRequests int64) Result {
-	return runLoop(f, gens, maxRequests, true)
+	return runLoop(f, gens, maxRequests, true, nil)
+}
+
+// AckFunc receives every request the engine completed, with the completion
+// time — the moment the request is acknowledged to the host. The crash
+// harness records its durability oracle here: a request still in flight
+// when a power cut unwinds the engine is never acked, so the oracle holds
+// exactly what a host could rightfully expect after the crash.
+type AckFunc func(req Request, done nand.Time)
+
+// RunAcked is Run with an acknowledgment hook. Acks fire in issue order
+// (the engine's deterministic execution order), after the FTL has fully
+// processed the request.
+func RunAcked(f ftl.FTL, gens []Generator, maxRequests int64, ack AckFunc) Result {
+	return runLoop(f, gens, maxRequests, true, ack)
 }
 
 // runLoop is the engine body shared by Run and Warmed. record=false skips
@@ -77,7 +91,7 @@ func Run(f ftl.FTL, gens []Generator, maxRequests int64) Result {
 // push+pop pair. The (time, index) order of processed events is exactly
 // the heap order, so results are byte-identical (pinned against the frozen
 // linear reference in sched_test.go).
-func runLoop(f ftl.FTL, gens []Generator, maxRequests int64, record bool) Result {
+func runLoop(f ftl.FTL, gens []Generator, maxRequests int64, record bool, ack AckFunc) Result {
 	start := f.Flash().MaxChipBusy()
 	h := newEventHeap(len(gens), start)
 	col := f.Collector()
@@ -118,6 +132,9 @@ func runLoop(f ftl.FTL, gens []Generator, maxRequests int64, record bool) Result
 			if tr != nil && !req.Trim {
 				tr.EndReq(done)
 			}
+			if ack != nil {
+				ack(req, done)
+			}
 			if done > end {
 				end = done
 			}
@@ -144,7 +161,7 @@ func runLoop(f ftl.FTL, gens []Generator, maxRequests int64, record bool) Result
 // phase's own result (virtual span, requests issued) — the collector's
 // view of it is gone after the reset.
 func Warmed(f ftl.FTL, warm []Generator, maxRequests int64) Result {
-	r := runLoop(f, warm, maxRequests, false)
+	r := runLoop(f, warm, maxRequests, false, nil)
 	f.Collector().Reset()
 	f.Flash().ResetCounters()
 	return r

@@ -199,3 +199,25 @@ func TestNonPositiveTrimDiscardsNothing(t *testing.T) {
 		t.Fatal("well-formed trim not counted")
 	}
 }
+
+func TestRunAckedDeliversEveryAck(t *testing.T) {
+	f, err := ftl.NewIdeal(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var acks int64
+	var last nand.Time
+	res := RunAcked(f, []Generator{seqGen(0, 60, true)}, 0, func(req Request, done nand.Time) {
+		if !req.Write {
+			t.Fatalf("acked a non-write: %+v", req)
+		}
+		if done < last {
+			t.Fatalf("ack times regressed: %d after %d", done, last)
+		}
+		last = done
+		acks++
+	})
+	if acks != res.Requests || acks != 60 {
+		t.Fatalf("acked %d of %d issued requests, want 60", acks, res.Requests)
+	}
+}

@@ -122,6 +122,11 @@ type OpenOptions struct {
 	// mid-flight delays that request through ordinary per-chip queueing —
 	// preemption by arrival, not mid-erase abort.
 	BackgroundGC bool
+	// AckSink, when set, receives every completed request with its
+	// completion time — the host-visible acknowledgment. The crash harness
+	// records its durability oracle here; a request in flight when a power
+	// cut unwinds the engine is never acked.
+	AckSink AckFunc
 }
 
 // RunOpen replays rate-controlled open-loop streams against f until all
@@ -154,7 +159,7 @@ func RunOpenWith(f ftl.FTL, streams []Stream, opt OpenOptions) Result {
 			bg = func(start, deadline nand.Time) { b.BackgroundGC(start, deadline) }
 		}
 	}
-	return runOpenLoop(ftlTarget{f}, streams, opt.MaxRequests, bg)
+	return runOpenLoop(ftlTarget{f}, streams, opt.MaxRequests, bg, opt.AckSink)
 }
 
 // OpenTarget is what the open-loop host model drives: a single FTL device
@@ -205,13 +210,13 @@ func RunOpenTarget(t OpenTarget, streams []Stream, opt OpenOptions) Result {
 	if opt.BackgroundGC {
 		bg = t.BackgroundWork
 	}
-	return runOpenLoop(t, streams, opt.MaxRequests, bg)
+	return runOpenLoop(t, streams, opt.MaxRequests, bg, opt.AckSink)
 }
 
 // runOpenLoop is the shared open-loop engine body (see RunOpen for the
 // semantics). bg, when non-nil, is offered the idle gap before each
 // service start whose target drain time precedes it.
-func runOpenLoop(t OpenTarget, streams []Stream, maxRequests int64, bg func(start, deadline nand.Time)) Result {
+func runOpenLoop(t OpenTarget, streams []Stream, maxRequests int64, bg func(start, deadline nand.Time), ack AckFunc) Result {
 	start := t.Busy()
 	col := t.Collector()
 	names := make([]string, len(streams))
@@ -282,6 +287,9 @@ func runOpenLoop(t OpenTarget, streams []Stream, maxRequests int64, bg func(star
 			if tr != nil {
 				tr.EndReq(done)
 			}
+		}
+		if ack != nil {
+			ack(st.req, done)
 		}
 		st.ready = done
 		if done > end {

@@ -225,7 +225,7 @@ func runSharded(f ftl.FTL, gens []Generator, maxRequests int64, workers int, rec
 	}
 	if st.Fallback != "" {
 		st.Workers = 1
-		return runLoop(f, gens, maxRequests, record), st
+		return runLoop(f, gens, maxRequests, record, nil), st
 	}
 	if chips := fl.Geometry().Chips(); workers > chips {
 		workers = chips
